@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation study of HPE's design choices (not a paper figure; DESIGN.md
+ * calls these out).  Each variant disables one mechanism and reports the
+ * mean fault count across all 23 applications relative to full HPE:
+ *
+ *  - no-adjustment: dynamic adjustment off (classification only);
+ *  - direct-hits:   idealized hit channel (no HIR batching/loss);
+ *  - no-division:   page-set division disabled;
+ *  - always-LRU:    strategy forced to LRU (no MRU-C);
+ *  - always-MRU-C:  strategy forced to MRU-C (no classification value).
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hpe;
+    const auto opt = bench::parseOptions(argc, argv);
+    bench::banner("Ablation: HPE variants (functional faults vs full HPE)",
+                  opt);
+
+    struct Variant
+    {
+        const char *name;
+        void (*apply)(HpeConfig &);
+    };
+    const std::vector<Variant> variants = {
+        {"full HPE", [](HpeConfig &) {}},
+        {"no-adjustment", [](HpeConfig &c) { c.dynamicAdjustment = false; }},
+        {"direct-hits", [](HpeConfig &c) { c.hitChannel = HitChannel::Direct; }},
+        {"no-division", [](HpeConfig &c) { c.enableDivision = false; }},
+        {"always-LRU", [](HpeConfig &c) {
+             c.forcedStrategy = ForcedStrategy::Lru;
+             c.dynamicAdjustment = false;
+         }},
+        {"always-MRU-C", [](HpeConfig &c) {
+             c.forcedStrategy = ForcedStrategy::MruC;
+             c.dynamicAdjustment = false;
+         }},
+    };
+
+    // per variant: per app faults
+    std::map<std::string, std::map<std::string, double>> faults;
+    for (const std::string &app : bench::allApps()) {
+        const Trace trace = buildApp(app, opt.scale, opt.seed);
+        for (const Variant &v : variants) {
+            RunConfig cfg;
+            cfg.oversub = 0.75;
+            cfg.seed = opt.seed;
+            v.apply(cfg.hpe);
+            faults[v.name][app] = static_cast<double>(
+                runFunctional(trace, PolicyKind::Hpe, cfg).faults);
+        }
+    }
+
+    TextTable t({"variant", "mean faults vs full", "worst app", "worst ratio"});
+    for (const Variant &v : variants) {
+        std::vector<double> ratios;
+        std::string worst_app;
+        double worst = 0;
+        for (const std::string &app : bench::allApps()) {
+            const double r = faults[v.name][app] / faults["full HPE"][app];
+            ratios.push_back(r);
+            if (r > worst) {
+                worst = r;
+                worst_app = app;
+            }
+        }
+        t.addRow({v.name, TextTable::num(bench::mean(ratios), 3), worst_app,
+                  TextTable::num(worst, 2)});
+    }
+    t.print();
+    std::cout << "\n(> 1.0 means the ablated variant faults more: the "
+                 "mechanism earns its keep.)\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark harness.
+ *
+ * Every bench binary regenerates one table or figure of the paper.  The
+ * harness accepts two optional arguments common to all binaries:
+ *
+ *   argv[1]  footprint scale factor (default 1.0)
+ *   argv[2]  base RNG seed (default 1)
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "workload/apps.hpp"
+
+namespace hpe::bench {
+
+/** Common CLI options. */
+struct Options
+{
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+};
+
+inline Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    if (argc > 1)
+        opt.scale = std::atof(argv[1]);
+    if (argc > 2)
+        opt.seed = std::strtoull(argv[2], nullptr, 10);
+    if (opt.scale <= 0)
+        fatal("bad scale factor");
+    return opt;
+}
+
+/** All 23 application abbreviations in Table II order. */
+inline std::vector<std::string>
+allApps()
+{
+    std::vector<std::string> apps;
+    for (const AppSpec &s : appSpecs())
+        apps.push_back(s.abbr);
+    return apps;
+}
+
+/** The pattern-type group label of an app ("I".."VI"). */
+inline std::string
+typeOf(const std::string &abbr)
+{
+    return patternName(appSpec(abbr).type);
+}
+
+/** Geometric mean of a vector of positive ratios. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+/** Per-pattern-type averages of per-app values. */
+inline std::map<std::string, double>
+averageByType(const std::map<std::string, double> &per_app)
+{
+    std::map<std::string, std::vector<double>> groups;
+    for (const auto &[app, v] : per_app)
+        groups[typeOf(app)].push_back(v);
+    std::map<std::string, double> out;
+    for (const auto &[type, vs] : groups)
+        out[type] = mean(vs);
+    return out;
+}
+
+/** Print a standard experiment banner. */
+inline void
+banner(const std::string &what, const Options &opt)
+{
+    std::cout << "== " << what << " ==\n"
+              << "(scale " << opt.scale << ", seed " << opt.seed
+              << "; shapes, not absolute numbers, are the reproduction "
+                 "target)\n\n";
+}
+
+} // namespace hpe::bench

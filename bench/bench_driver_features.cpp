@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Driver realism features (beyond the paper's fixed-cost model):
+ * sequential block prefetch, fault batching, and dirty-page writeback.
+ * Reports their effect on faults, IPC and PCIe traffic for representative
+ * applications under HPE.
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hpe;
+    const auto opt = bench::parseOptions(argc, argv);
+    bench::banner("Driver features: prefetch, batching, writeback", opt);
+
+    struct Variant
+    {
+        const char *name;
+        void (*apply)(DriverConfig &);
+    };
+    const std::vector<Variant> variants = {
+        {"paper default", [](DriverConfig &) {}},
+        {"prefetch 15", [](DriverConfig &d) { d.prefetchDegree = 15; }},
+        {"batch 8", [](DriverConfig &d) { d.batchSize = 8; }},
+        {"prefetch+batch", [](DriverConfig &d) {
+             d.prefetchDegree = 15;
+             d.batchSize = 8;
+         }},
+    };
+
+    for (const char *app : {"LEU", "HSD", "BFS", "HIS"}) {
+        const Trace trace = buildApp(app, opt.scale, opt.seed);
+        std::cout << "--- " << app << " (write fraction "
+                  << TextTable::num(trace.writeFraction(), 2) << ") ---\n";
+        TextTable t({"variant", "faults", "prefetched", "dirty evictions",
+                     "PCIe KB", "IPC"});
+        for (const Variant &v : variants) {
+            RunConfig cfg;
+            cfg.oversub = 0.75;
+            cfg.seed = opt.seed;
+            v.apply(cfg.gpu.driver);
+            const auto run = runTimingInspect(trace, PolicyKind::Hpe, cfg);
+            t.addRow({v.name, std::to_string(run.timing.faults),
+                      std::to_string(run.stats
+                                         ->findCounter("driver.uvm.prefetches")
+                                         .value()),
+                      std::to_string(
+                          run.stats->findCounter("driver.uvm.dirtyEvictions")
+                              .value()),
+                      TextTable::num(
+                          static_cast<double>(
+                              run.stats->findCounter("pcie.bytes").value())
+                              / 1024.0,
+                          1),
+                      TextTable::num(run.timing.ipc, 4)});
+        }
+        t.print();
+        std::cout << "\n";
+    }
+    std::cout << "(Prefetch only fills free frames, so oversubscribed runs "
+                 "see little of it — the fault storm outruns sequential "
+                 "prefetch; see tests for the low-concurrency case.)\n";
+    return 0;
+}

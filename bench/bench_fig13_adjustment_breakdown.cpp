@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 13 — breakdown of eviction-strategy adjustment per application at
+ * both oversubscription rates: percent of (post-classification) faults
+ * each strategy was active for, plus search-point jumps.
+ *
+ * Paper shape targets: most applications never adjust; BFS/SAD/HIS
+ * switch between LRU and MRU-C; SRD/HSD/DWT/SGM adjust the search point.
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hpe;
+    const auto opt = bench::parseOptions(argc, argv);
+    bench::banner("Fig. 13: eviction-strategy adjustment breakdown", opt);
+
+    TextTable t({"app", "rate", "category", "LRU %", "MRU-C %", "switches",
+                 "jumps", "timeline"});
+    for (const std::string &app : bench::allApps()) {
+        for (double rate : {0.75, 0.50}) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            RunConfig cfg;
+            cfg.oversub = rate;
+            cfg.seed = opt.seed;
+            const auto run = runFunctionalInspect(trace, PolicyKind::Hpe, cfg);
+            const auto &cls = run.hpe()->classification();
+            const auto &timeline = run.hpe()->adjustment().timeline();
+            const std::uint64_t total = run.hpe()->faultNumber();
+            if (!cls || timeline.empty()) {
+                t.addRow({app, TextTable::num(rate * 100, 0) + "%", "-", "-",
+                          "-", "-", "-", "memory never full"});
+                continue;
+            }
+
+            // Integrate strategy usage over the fault timeline.
+            std::uint64_t lru_faults = 0, mruc_faults = 0, switches = 0,
+                          jumps = 0;
+            for (std::size_t i = 0; i < timeline.size(); ++i) {
+                const std::uint64_t begin = timeline[i].faultNumber;
+                const std::uint64_t end =
+                    i + 1 < timeline.size() ? timeline[i + 1].faultNumber
+                                            : total;
+                (timeline[i].strategy == Strategy::Lru ? lru_faults
+                                                       : mruc_faults) +=
+                    end - begin;
+                if (i > 0) {
+                    if (timeline[i].strategy != timeline[i - 1].strategy)
+                        ++switches;
+                    if (timeline[i].searchOffset
+                        != timeline[i - 1].searchOffset)
+                        ++jumps;
+                }
+            }
+            const double active =
+                static_cast<double>(lru_faults + mruc_faults);
+            std::string timeline_str;
+            for (const auto &ev : timeline) {
+                if (!timeline_str.empty())
+                    timeline_str += " -> ";
+                timeline_str += strategyName(ev.strategy);
+                if (ev.searchOffset > 0)
+                    timeline_str += "+" + std::to_string(ev.searchOffset);
+            }
+            t.addRow({app, TextTable::num(rate * 100, 0) + "%",
+                      categoryName(cls->category),
+                      TextTable::num(100.0 * lru_faults / active, 1),
+                      TextTable::num(100.0 * mruc_faults / active, 1),
+                      std::to_string(switches), std::to_string(jumps),
+                      timeline_str});
+        }
+    }
+    t.print();
+    return 0;
+}

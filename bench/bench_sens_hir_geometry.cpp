@@ -1,0 +1,57 @@
+/**
+ * @file
+ * §IV-B sensitivity: HIR geometry.  The paper settles on an 8-way, 1024-
+ * entry HIR because it "avoids way conflicts in the simulations for most
+ * applications (except MVT)".  Sweeps entries and associativity and
+ * reports way-conflict drops plus fault counts for the conflict-prone
+ * applications.
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hpe;
+    const auto opt = bench::parseOptions(argc, argv);
+    bench::banner("Sensitivity: HIR cache geometry (timing runs)", opt);
+
+    const std::vector<const char *> apps = {"MVT", "GEM", "HSD", "BFS"};
+
+    struct Geometry
+    {
+        std::uint32_t entries;
+        std::uint32_t ways;
+    };
+    const std::vector<Geometry> geometries = {
+        {128, 4}, {256, 8}, {512, 8}, {1024, 8}, {1024, 16}, {2048, 8},
+    };
+
+    for (const char *app : apps) {
+        const Trace trace = buildApp(app, opt.scale, opt.seed);
+        std::cout << "--- " << app << " ---\n";
+        TextTable t({"entries", "ways", "conflict drops", "hits recorded",
+                     "faults", "storage KB"});
+        for (const Geometry &g : geometries) {
+            RunConfig cfg;
+            cfg.oversub = 0.75;
+            cfg.seed = opt.seed;
+            cfg.hpe.hirEntries = g.entries;
+            cfg.hpe.hirWays = g.ways;
+            const auto run = runTimingInspect(trace, PolicyKind::Hpe, cfg);
+            t.addRow({std::to_string(g.entries), std::to_string(g.ways),
+                      std::to_string(
+                          run.stats->findCounter("hpe.hir.conflicts").value()),
+                      std::to_string(run.stats
+                                         ->findCounter("hpe.hir.hitsRecorded")
+                                         .value()),
+                      std::to_string(run.timing.faults),
+                      TextTable::num(g.entries * 10.0 / 1024.0, 1)});
+        }
+        t.print();
+        std::cout << "\n";
+    }
+    std::cout << "(Paper: 1024 x 8-way = 10 KB eliminates conflicts for "
+                 "most applications; MVT's stride-4 access is the outlier.)\n";
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * §V-A sensitivity — the interval at which HIR contents are transferred
+ * to the GPU driver: every {1, 8, 16, 32, 64}th page fault.  The paper
+ * found 16 the best trade-off (result not shown there).
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hpe;
+    const auto opt = bench::parseOptions(argc, argv);
+    bench::banner("Sensitivity: HIR transfer interval", opt);
+
+    const std::vector<std::uint32_t> intervals = {1, 8, 16, 32, 64};
+
+    TextTable t({"transfer interval", "mean IPC (norm. to 16)",
+                 "mean faults (norm. to 16)", "mean PCIe KB"});
+    std::map<std::uint32_t, std::vector<double>> ipc, faults, bytes;
+    for (const std::string &app : bench::allApps()) {
+        const Trace trace = buildApp(app, opt.scale, opt.seed);
+        for (std::uint32_t interval : intervals) {
+            RunConfig cfg;
+            cfg.oversub = 0.75;
+            cfg.seed = opt.seed;
+            cfg.hpe.transferInterval = interval;
+            const auto run = runTimingInspect(trace, PolicyKind::Hpe, cfg);
+            ipc[interval].push_back(run.timing.ipc);
+            faults[interval].push_back(static_cast<double>(run.timing.faults));
+            bytes[interval].push_back(static_cast<double>(
+                run.stats->findCounter("pcie.bytes").value()));
+        }
+    }
+    const double ipc16 = bench::mean(ipc[16]);
+    const double faults16 = bench::mean(faults[16]);
+    for (std::uint32_t interval : intervals) {
+        t.addRow({std::to_string(interval),
+                  TextTable::num(bench::mean(ipc[interval]) / ipc16, 3),
+                  TextTable::num(bench::mean(faults[interval]) / faults16, 3),
+                  TextTable::num(bench::mean(bytes[interval]) / 1024.0, 1)});
+    }
+    t.print();
+    std::cout << "\n(Paper: 16 makes the best trade-off between transfer "
+                 "frequency and performance.)\n";
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Table II — workload characteristics: the 23 selected applications with
+ * their suite, access-pattern type, and (scaled) footprint.
+ */
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hpe;
+    const auto opt = bench::parseOptions(argc, argv);
+    bench::banner("Table II: workload characteristics", opt);
+
+    TextTable t({"type", "suite", "app", "abbr", "footprint (pages)",
+                 "footprint (MB)", "visits", "kernels"});
+    for (const AppSpec &spec : appSpecs()) {
+        const Trace trace = buildApp(spec.abbr, opt.scale, opt.seed);
+        const double mb = static_cast<double>(trace.footprintPages())
+            * static_cast<double>(kPageBytes) / (1024.0 * 1024.0);
+        t.addRow({patternName(spec.type), spec.suite, spec.name, spec.abbr,
+                  std::to_string(trace.footprintPages()),
+                  TextTable::num(mb, 1), std::to_string(trace.size()),
+                  std::to_string(trace.kernelCount())});
+    }
+    t.print();
+    return 0;
+}

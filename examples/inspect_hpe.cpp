@@ -1,0 +1,89 @@
+/**
+ * @file
+ * HPE introspection: run one application under HPE (functional and
+ * timing) and dump the policy's internal decisions — classification
+ * ratios, the adjustment timeline (strategy switches and search-point
+ * jumps), page-set divisions, HIR statistics, and search overhead.
+ *
+ *   ./inspect_hpe [APP] [OVERSUB] [SEED]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "workload/apps.hpp"
+
+namespace {
+
+void
+report(const char *mode, const hpe::InspectableRun &run, std::uint64_t faults)
+{
+    using namespace hpe;
+    HpePolicy *policy = run.hpe();
+    std::cout << mode << ": " << faults << " faults\n";
+
+    const auto &cls = policy->classification();
+    if (!cls) {
+        std::cout << "  memory never filled: no classification ran\n";
+        return;
+    }
+    std::cout << "  classification: " << categoryName(cls->category)
+              << " (ratio1 " << cls->ratio1 << ", ratio2 " << cls->ratio2
+              << ", old partition " << cls->oldPartitionSets << " sets)\n";
+
+    std::cout << "  adjustment timeline:";
+    for (const AdjustmentEvent &ev : policy->adjustment().timeline()) {
+        std::cout << " [fault " << ev.faultNumber << ": "
+                  << strategyName(ev.strategy);
+        if (ev.searchOffset > 0)
+            std::cout << " +" << ev.searchOffset;
+        std::cout << "]";
+    }
+    std::cout << "\n";
+
+    const auto &search = run.stats->findDistribution("hpe.searchComparisons");
+    std::cout << "  MRU-C searches: " << search.count() << " (mean "
+              << search.mean() << " comparisons)\n";
+    std::cout << "  page-set divisions: "
+              << run.stats->findCounter("hpe.chain.divisions").value()
+              << ", wrong evictions: "
+              << run.stats->findCounter("hpe.adjust.wrongEvictions").value()
+              << "\n";
+    const auto &flushes = run.stats->findDistribution("hpe.hir.entriesPerFlush");
+    std::cout << "  HIR: "
+              << run.stats->findCounter("hpe.hir.hitsRecorded").value()
+              << " hits recorded, " << flushes.count() << " flushes (mean "
+              << flushes.mean() << " entries), "
+              << run.stats->findCounter("hpe.hir.conflicts").value()
+              << " way-conflict drops\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hpe;
+    const std::string app = argc > 1 ? argv[1] : "BFS";
+    const double oversub = argc > 2 ? std::atof(argv[2]) : 0.75;
+    const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+    const Trace trace = buildApp(app, 1.0, seed);
+    std::cout << "HPE internals for " << trace.abbr() << " ("
+              << trace.application() << ", pattern type "
+              << patternName(trace.pattern()) << ") at " << oversub * 100
+              << "% oversubscription\n\n";
+
+    RunConfig cfg;
+    cfg.oversub = oversub;
+    cfg.seed = seed;
+
+    const auto functional = runFunctionalInspect(trace, PolicyKind::Hpe, cfg);
+    report("functional", functional, functional.paging.faults);
+    std::cout << "\n";
+    const auto timing = runTimingInspect(trace, PolicyKind::Hpe, cfg);
+    report("timing", timing, timing.timing.faults);
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Policy explorer: build one of the six synthetic access-pattern types of
+ * Fig. 2 from command-line parameters and compare every eviction policy
+ * on it, functionally and with timing.
+ *
+ *   ./policy_explorer [TYPE] [PAGES] [PASSES] [OVERSUB] [SEED]
+ *
+ *   TYPE    pattern type I..VI (default II)
+ *   PAGES   footprint in 4 KB pages (default 1024)
+ *   PASSES  repetitions where the type uses them (default 4)
+ *   OVERSUB fraction of the footprint that fits (default 0.75)
+ *   SEED    RNG seed (default 1)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "workload/patterns.hpp"
+
+namespace {
+
+hpe::Trace
+buildPattern(const std::string &type, std::size_t pages, unsigned passes,
+             std::uint64_t seed)
+{
+    using namespace hpe;
+    Rng rng(seed);
+    if (type == "I") {
+        Trace t("I", "streaming", "synthetic", PatternType::I);
+        patterns::stream(t, 0, pages, 1);
+        return t;
+    }
+    if (type == "II") {
+        Trace t("II", "thrashing", "synthetic", PatternType::II);
+        patterns::thrash(t, 0, pages, passes);
+        return t;
+    }
+    if (type == "III") {
+        Trace t("III", "part repetitive", "synthetic", PatternType::III);
+        patterns::partRepetitiveBlocks(t, 0, pages, 16, 0.3, 1, rng);
+        return t;
+    }
+    if (type == "IV") {
+        Trace t("IV", "most repetitive", "synthetic", PatternType::IV);
+        patterns::partRepetitivePages(t, 0, pages, 0.8, 3, 32, rng);
+        return t;
+    }
+    if (type == "V") {
+        Trace t("V", "repetitive thrashing", "synthetic", PatternType::V);
+        for (unsigned n = 0; n < passes; ++n) {
+            t.beginKernel();
+            patterns::partRepetitivePages(t, 0, pages, 0.8, 2, 32, rng);
+        }
+        return t;
+    }
+    if (type == "VI") {
+        Trace t("VI", "region moving", "synthetic", PatternType::VI);
+        patterns::regionMoving(t, 0, pages, 8, passes, 1);
+        return t;
+    }
+    hpe::fatal("unknown pattern type '{}' (use I..VI)", type);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hpe;
+    const std::string type = argc > 1 ? argv[1] : "II";
+    const std::size_t pages = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1024;
+    const unsigned passes = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 4;
+    const double oversub = argc > 4 ? std::atof(argv[4]) : 0.75;
+    const std::uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+
+    const Trace trace = buildPattern(type, pages, passes, seed);
+    std::cout << "pattern type " << type << " (" << trace.application()
+              << "), " << trace.footprintPages() << " pages, " << trace.size()
+              << " visits, " << trace.kernelCount() << " kernels, memory "
+              << framesFor(trace, oversub) << " frames\n\n";
+
+    RunConfig cfg;
+    cfg.oversub = oversub;
+    cfg.seed = seed;
+
+    TextTable t({"policy", "faults", "evictions", "fault rate", "IPC",
+                 "IPC vs LRU"});
+    double lru_ipc = 0.0;
+    for (PolicyKind kind : extendedPolicyKinds()) {
+        const auto f = runFunctional(trace, kind, cfg);
+        const auto timing = runTiming(trace, kind, cfg);
+        if (kind == PolicyKind::Lru)
+            lru_ipc = timing.ipc;
+        t.addRow({policyKindName(kind), std::to_string(f.faults),
+                  std::to_string(f.evictions),
+                  TextTable::num(f.faultRate(), 3),
+                  TextTable::num(timing.ipc, 4),
+                  TextTable::num(lru_ipc > 0 ? timing.ipc / lru_ipc : 1.0, 2)});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Quickstart: run one workload under every eviction policy, functionally
+ * and with timing, and print the comparison.
+ *
+ *   ./quickstart [APP] [OVERSUB]
+ *
+ * APP is a paper abbreviation (default HSD, the thrashing 3D stencil);
+ * OVERSUB is the fraction of the footprint that fits in GPU memory
+ * (default 0.75).
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "workload/apps.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "HSD";
+    const double oversub = argc > 2 ? std::atof(argv[2]) : 0.75;
+
+    const hpe::Trace trace = hpe::buildApp(app);
+    std::cout << "workload " << trace.abbr() << " (" << trace.application()
+              << ", " << trace.suite() << ", pattern type "
+              << hpe::patternName(trace.pattern()) << ")\n"
+              << "footprint " << trace.footprintPages() << " pages, "
+              << trace.size() << " page visits, GPU memory "
+              << hpe::framesFor(trace, oversub) << " frames ("
+              << oversub * 100 << "% of footprint)\n\n";
+
+    hpe::RunConfig cfg;
+    cfg.oversub = oversub;
+
+    hpe::TextTable table({"policy", "faults", "evictions", "timing faults",
+                          "IPC", "host load"});
+    for (hpe::PolicyKind kind : hpe::allPolicyKinds()) {
+        const auto functional = hpe::runFunctional(trace, kind, cfg);
+        const auto timing = hpe::runTiming(trace, kind, cfg);
+        table.addRow({hpe::policyKindName(kind),
+                      std::to_string(functional.faults),
+                      std::to_string(functional.evictions),
+                      std::to_string(timing.faults),
+                      hpe::TextTable::num(timing.ipc, 4),
+                      hpe::TextTable::num(timing.hostLoad * 100, 1) + "%"});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,188 @@
+#include "cli/commands.hpp"
+
+#include <ostream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "workload/apps.hpp"
+#include "workload/trace_io.hpp"
+
+namespace hpe::cli {
+
+namespace {
+
+/** Resolve a policy name (case-sensitive, as printed by `list`). */
+PolicyKind
+policyByName(const std::string &name)
+{
+    for (PolicyKind kind : extendedPolicyKinds())
+        if (name == policyKindName(kind))
+            return kind;
+    fatal("unknown policy '{}' (try `hpe_sim list`)", name);
+}
+
+/** Common workload/config options for run/compare/trace. */
+struct CommonOptions
+{
+    Trace trace;
+    RunConfig cfg;
+};
+
+CommonOptions
+commonOptions(const Args &args)
+{
+    const std::string app = args.get("app", "HSD");
+    const double scale = args.getDouble("scale", 1.0);
+    const std::uint64_t seed = args.getUint("seed", 1);
+    CommonOptions opt{buildApp(app, scale, seed), RunConfig{}};
+    opt.cfg.oversub = args.getDouble("oversub", 0.75);
+    opt.cfg.seed = seed;
+    if (args.has("walk-latency"))
+        opt.cfg.gpu.walkLatency = args.getUint("walk-latency", 8);
+    if (args.has("prefetch"))
+        opt.cfg.gpu.driver.prefetchDegree =
+            static_cast<unsigned>(args.getUint("prefetch", 0));
+    if (args.has("multi-level-walker"))
+        opt.cfg.gpu.walkerMode = WalkerMode::MultiLevel;
+    return opt;
+}
+
+} // namespace
+
+int
+runCommand(const Args &args, std::ostream &os)
+{
+    args.allowOnly({"app", "policy", "oversub", "scale", "seed", "functional",
+                    "csv", "stats", "walk-latency", "prefetch",
+                    "multi-level-walker"});
+    const auto opt = commonOptions(args);
+    const PolicyKind kind = policyByName(args.get("policy", "HPE"));
+    const bool functional = args.has("functional");
+
+    InspectableRun run = functional
+        ? runFunctionalInspect(opt.trace, kind, opt.cfg)
+        : runTimingInspect(opt.trace, kind, opt.cfg);
+
+    if (args.has("csv")) {
+        os << "app,policy,mode,oversub,faults,evictions,ipc\n"
+           << opt.trace.abbr() << "," << policyKindName(kind) << ","
+           << (functional ? "functional" : "timing") << "," << opt.cfg.oversub
+           << ","
+           << (functional ? run.paging.faults : run.timing.faults) << ","
+           << (functional ? run.paging.evictions : run.timing.evictions)
+           << "," << (functional ? 0.0 : run.timing.ipc) << "\n";
+    } else {
+        os << opt.trace.abbr() << " under " << policyKindName(kind) << " ("
+           << (functional ? "functional" : "timing") << ", "
+           << opt.cfg.oversub * 100 << "% oversubscription)\n";
+        if (functional) {
+            os << "  faults " << run.paging.faults << ", evictions "
+               << run.paging.evictions << ", fault rate "
+               << TextTable::num(run.paging.faultRate(), 3) << "\n";
+        } else {
+            os << "  faults " << run.timing.faults << ", evictions "
+               << run.timing.evictions << ", IPC "
+               << TextTable::num(run.timing.ipc, 4) << ", host load "
+               << TextTable::num(run.timing.hostLoad * 100, 1) << "%\n";
+        }
+    }
+    if (args.has("stats"))
+        run.stats->dumpCsv(os);
+    return 0;
+}
+
+int
+compareCommand(const Args &args, std::ostream &os)
+{
+    args.allowOnly({"app", "oversub", "scale", "seed", "extended", "csv"});
+    const auto opt = commonOptions(args);
+    const auto &kinds =
+        args.has("extended") ? extendedPolicyKinds() : allPolicyKinds();
+
+    if (args.has("csv"))
+        os << "policy,faults,evictions,ipc\n";
+    TextTable t({"policy", "faults", "evictions", "IPC"});
+    for (PolicyKind kind : kinds) {
+        const auto f = runFunctional(opt.trace, kind, opt.cfg);
+        const auto timing = runTiming(opt.trace, kind, opt.cfg);
+        if (args.has("csv")) {
+            os << policyKindName(kind) << "," << f.faults << ","
+               << f.evictions << "," << timing.ipc << "\n";
+        } else {
+            t.addRow({policyKindName(kind), std::to_string(f.faults),
+                      std::to_string(f.evictions),
+                      TextTable::num(timing.ipc, 4)});
+        }
+    }
+    if (!args.has("csv"))
+        t.print(os);
+    return 0;
+}
+
+int
+traceCommand(const Args &args, std::ostream &os)
+{
+    args.allowOnly({"app", "scale", "seed", "out"});
+    const auto opt = commonOptions(args);
+    const std::string out = args.get("out");
+    if (out.empty())
+        fatal("trace requires --out FILE");
+    saveTraceFile(opt.trace, out);
+    os << "wrote " << opt.trace.size() << " visits ("
+       << opt.trace.footprintPages() << " pages, " << opt.trace.kernelCount()
+       << " kernels) to " << out << "\n";
+    return 0;
+}
+
+int
+listCommand(const Args &args, std::ostream &os)
+{
+    args.allowOnly({});
+    os << "applications (Table II):";
+    for (const AppSpec &spec : appSpecs())
+        os << " " << spec.abbr;
+    os << "\nextra applications:";
+    for (const AppSpec &spec : extraAppSpecs())
+        os << " " << spec.abbr;
+    os << "\npolicies:";
+    for (PolicyKind kind : extendedPolicyKinds())
+        os << " " << policyKindName(kind);
+    os << "\n";
+    return 0;
+}
+
+void
+printUsage(std::ostream &os)
+{
+    os << "hpe_sim — GPU unified-memory eviction simulator\n"
+          "\n"
+          "usage: hpe_sim <command> [options]\n"
+          "\n"
+          "commands:\n"
+          "  run      one (app, policy) simulation\n"
+          "           --app HSD --policy HPE --oversub 0.75 [--functional]\n"
+          "           [--scale 1.0] [--seed 1] [--csv] [--stats]\n"
+          "           [--walk-latency 8] [--prefetch N] [--multi-level-walker]\n"
+          "  compare  every policy on one app\n"
+          "           --app HSD [--oversub 0.75] [--extended] [--csv]\n"
+          "  trace    write an application's page-visit trace to a file\n"
+          "           --app HSD --out hsd.trace\n"
+          "  list     available applications and policies\n";
+}
+
+int
+dispatch(const Args &args, std::ostream &os)
+{
+    if (args.command() == "run")
+        return runCommand(args, os);
+    if (args.command() == "compare")
+        return compareCommand(args, os);
+    if (args.command() == "trace")
+        return traceCommand(args, os);
+    if (args.command() == "list")
+        return listCommand(args, os);
+    printUsage(os);
+    return args.command().empty() ? 0 : 1;
+}
+
+} // namespace hpe::cli

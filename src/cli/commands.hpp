@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Subcommand implementations of the hpe_sim command-line tool, separated
+ * from main() so they are unit-testable.
+ */
+
+#pragma once
+
+#include <iosfwd>
+
+#include "cli/args.hpp"
+
+namespace hpe::cli {
+
+/** `hpe_sim run`: one (app, policy) simulation; table or CSV output. */
+int runCommand(const Args &args, std::ostream &os);
+
+/** `hpe_sim compare`: all policies on one app. */
+int compareCommand(const Args &args, std::ostream &os);
+
+/** `hpe_sim trace`: write an application's trace to a file. */
+int traceCommand(const Args &args, std::ostream &os);
+
+/** `hpe_sim list`: applications and policies. */
+int listCommand(const Args &args, std::ostream &os);
+
+/** Usage text. */
+void printUsage(std::ostream &os);
+
+/** Dispatch on args.command(); returns the process exit code. */
+int dispatch(const Args &args, std::ostream &os);
+
+} // namespace hpe::cli

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Discrete-event scheduler for the timing simulator.
+ *
+ * Events are (cycle, sequence, callback) triples ordered by cycle then by
+ * insertion sequence, so simultaneous events fire deterministically in
+ * scheduling order — a requirement for reproducible experiments.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace hpe {
+
+/** Deterministic min-heap event queue keyed on simulated cycles. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to run at absolute cycle @p when (>= current time). */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        HPE_ASSERT(when >= now_, "scheduling into the past: {} < {}", when, now_);
+        heap_.push(Event{when, seq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delta cycles from now. */
+    void
+    scheduleIn(Cycle delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Current simulated cycle (time of the last event processed). */
+    Cycle now() const { return now_; }
+
+    /** Cycle of the next pending event; queue must be nonempty. */
+    Cycle
+    nextEventCycle() const
+    {
+        HPE_ASSERT(!heap_.empty(), "nextEventCycle() on empty queue");
+        return heap_.top().when;
+    }
+
+    /**
+     * Pop and run the earliest event, advancing the clock.
+     * @return false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        // The callback may schedule new events, so detach it first.
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ev.cb();
+        return true;
+    }
+
+    /** Run until the queue is drained or @p max_events fire. */
+    std::uint64_t
+    run(std::uint64_t max_events = UINT64_MAX)
+    {
+        std::uint64_t n = 0;
+        while (n < max_events && step())
+            ++n;
+        return n;
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    std::uint64_t seq_ = 0;
+    Cycle now_ = 0;
+};
+
+} // namespace hpe

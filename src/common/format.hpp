@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal "{}"-style string formatting.
+ *
+ * The toolchain (GCC 12) lacks <format>, so this header provides the small
+ * subset the project needs: positional "{}" substitution plus the specs
+ * "{:#x}" (hex with prefix), "{:x}" (hex), and "{:.Nf}" (fixed precision).
+ * Unknown specs fall back to operator<<.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <iomanip>
+#include <ios>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace hpe {
+
+namespace detail {
+
+template <typename T>
+void
+writeWithSpec(std::ostream &os, std::string_view spec, const T &v)
+{
+    if constexpr (std::is_integral_v<T> && !std::is_same_v<T, bool>) {
+        if (spec == "#x") {
+            os << "0x" << std::hex << +v << std::dec;
+            return;
+        }
+        if (spec == "x") {
+            os << std::hex << +v << std::dec;
+            return;
+        }
+    }
+    if constexpr (std::is_floating_point_v<T>) {
+        if (spec.size() >= 3 && spec.front() == '.' && spec.back() == 'f') {
+            int prec = 0;
+            for (char c : spec.substr(1, spec.size() - 2))
+                prec = prec * 10 + (c - '0');
+            os << std::fixed << std::setprecision(prec) << v;
+            os.unsetf(std::ios::fixed);
+            return;
+        }
+    }
+    os << v;
+}
+
+} // namespace detail
+
+/**
+ * Substitute each "{...}" in @p fmt with the next argument.
+ * Surplus arguments are ignored; surplus placeholders print "{}".
+ */
+template <typename... Args>
+std::string
+strformat(std::string_view fmt, Args &&...args)
+{
+    std::ostringstream os;
+    std::vector<std::function<void(std::ostream &, std::string_view)>> writers;
+    (writers.emplace_back([&args](std::ostream &o, std::string_view spec) {
+        detail::writeWithSpec(o, spec, args);
+    }),
+     ...);
+
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+        const char c = fmt[i];
+        if (c == '{' && i + 1 < fmt.size() && fmt[i + 1] == '{') {
+            os << '{';
+            ++i;
+        } else if (c == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+            os << '}';
+            ++i;
+        } else if (c == '{') {
+            const std::size_t close = fmt.find('}', i);
+            if (close == std::string_view::npos) {
+                os << fmt.substr(i);
+                break;
+            }
+            std::string_view inner = fmt.substr(i + 1, close - i - 1);
+            std::string_view spec =
+                inner.starts_with(':') ? inner.substr(1) : std::string_view{};
+            if (next < writers.size())
+                writers[next++](os, spec);
+            else
+                os << "{}";
+            i = close;
+        } else {
+            os << c;
+        }
+    }
+    return std::move(os).str();
+}
+
+} // namespace hpe

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * panic()  — an internal invariant was violated (a simulator bug); aborts.
+ * warn()   — something works but not as well as it should.
+ * inform() — plain status output.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "common/format.hpp"
+
+namespace hpe {
+
+namespace detail {
+
+[[noreturn]] inline void
+die(const char *kind, std::string_view msg, bool abort_process)
+{
+    std::fprintf(stderr, "%s: %.*s\n", kind, static_cast<int>(msg.size()), msg.data());
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt, Args &&...args)
+{
+    detail::die("fatal", strformat(fmt, std::forward<Args>(args)...), false);
+}
+
+/** Report a violated internal invariant (simulator bug) and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view fmt, Args &&...args)
+{
+    detail::die("panic", strformat(fmt, std::forward<Args>(args)...), true);
+}
+
+/** Print a warning that does not stop the simulation. */
+template <typename... Args>
+void
+warn(std::string_view fmt, Args &&...args)
+{
+    auto msg = strformat(fmt, std::forward<Args>(args)...);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(std::string_view fmt, Args &&...args)
+{
+    auto msg = strformat(fmt, std::forward<Args>(args)...);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+/** panic() unless @p cond holds; used for internal invariants. */
+#define HPE_ASSERT(cond, ...)                                                  \
+    do {                                                                       \
+        if (!(cond)) [[unlikely]]                                              \
+            ::hpe::panic("assertion `" #cond "` failed at {}:{}: {}",          \
+                         __FILE__, __LINE__, ::hpe::strformat(__VA_ARGS__));   \
+    } while (0)
+
+} // namespace hpe

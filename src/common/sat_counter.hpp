@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Saturating counter used by page-set chain entries (saturates at 64 in the
+ * paper) and by the 2-bit per-page counters inside HIR entries.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+/** An up/down counter that clamps at [0, max]. */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /** @param max saturation ceiling; @param initial starting value. */
+    explicit SatCounter(std::uint32_t max, std::uint32_t initial = 0)
+        : value_(initial), max_(max)
+    {
+        HPE_ASSERT(initial <= max, "initial {} exceeds max {}", initial, max);
+    }
+
+    /** Increment by @p n, clamping at the ceiling. */
+    void
+    add(std::uint32_t n = 1)
+    {
+        const std::uint64_t sum = std::uint64_t{value_} + n;
+        value_ = sum > max_ ? max_ : static_cast<std::uint32_t>(sum);
+    }
+
+    /** Decrement by @p n, clamping at zero. */
+    void
+    sub(std::uint32_t n = 1)
+    {
+        value_ = value_ < n ? 0 : value_ - n;
+    }
+
+    /** True once the counter has reached its ceiling. */
+    bool saturated() const { return value_ == max_; }
+
+    std::uint32_t value() const { return value_; }
+    std::uint32_t max() const { return max_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint32_t value_ = 0;
+    std::uint32_t max_ = 0;
+};
+
+} // namespace hpe

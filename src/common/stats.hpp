@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Components register scalar counters and sampled distributions under
+ * hierarchical dotted names ("gpu.sm0.l1tlb.hits").  The registry can dump
+ * itself as text and individual stats can be looked up by tests.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+/** A monotonically growing event counter. */
+class Counter
+{
+  public:
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(std::uint64_t n) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean/min/max over a stream of samples. */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+    double minimum() const { return count_ ? min_ : 0.0; }
+    double maximum() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        min_ = 1e300;
+        max_ = -1e300;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 1e300;
+    double max_ = -1e300;
+};
+
+/**
+ * Owner of named statistics.  Components call counter()/distribution() once
+ * at construction and keep the returned references; lookups by name are for
+ * reporting and tests.
+ */
+class StatRegistry
+{
+  public:
+    /** Get or create the counter registered under @p name. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Get or create the distribution registered under @p name. */
+    Distribution &distribution(const std::string &name) { return dists_[name]; }
+
+    /** Counter lookup for tests; the stat must exist. */
+    const Counter &
+    findCounter(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        HPE_ASSERT(it != counters_.end(), "unknown counter {}", name);
+        return it->second;
+    }
+
+    /** Distribution lookup for tests; the stat must exist. */
+    const Distribution &
+    findDistribution(const std::string &name) const
+    {
+        auto it = dists_.find(name);
+        HPE_ASSERT(it != dists_.end(), "unknown distribution {}", name);
+        return it->second;
+    }
+
+    bool hasCounter(const std::string &name) const { return counters_.contains(name); }
+
+    /** Write all stats, sorted by name, one per line. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[name, c] : counters_)
+            os << name << " " << c.value() << "\n";
+        for (const auto &[name, d] : dists_) {
+            os << name << " count=" << d.count() << " mean=" << d.mean()
+               << " min=" << d.minimum() << " max=" << d.maximum() << "\n";
+        }
+    }
+
+    /** Write all stats as CSV ("name,value" / distribution moments). */
+    void
+    dumpCsv(std::ostream &os) const
+    {
+        os << "name,count,value,mean,min,max\n";
+        for (const auto &[name, c] : counters_)
+            os << name << ",1," << c.value() << ",,,\n";
+        for (const auto &[name, d] : dists_) {
+            os << name << "," << d.count() << ",," << d.mean() << ","
+               << d.minimum() << "," << d.maximum() << "\n";
+        }
+    }
+
+    /** Zero every registered stat (between experiment repetitions). */
+    void
+    resetAll()
+    {
+        for (auto &[name, c] : counters_)
+            c.reset();
+        for (auto &[name, d] : dists_)
+            d.reset();
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> dists_;
+};
+
+} // namespace hpe

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harness to emit the
+ * rows/series of each paper table and figure.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+/** Accumulates rows of string cells and prints them column-aligned. */
+class TextTable
+{
+  public:
+    /** @param headers column titles, fixing the column count. */
+    explicit TextTable(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    /** Append one row; must have exactly as many cells as there are headers. */
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        HPE_ASSERT(cells.size() == headers_.size(),
+                   "row has {} cells, table has {} columns",
+                   cells.size(), headers_.size());
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string
+    num(double v, int precision = 3)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+        return buf;
+    }
+
+    /** Print the table with a header rule to @p os. */
+    void
+    print(std::ostream &os = std::cout) const
+    {
+        std::vector<std::size_t> width(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            width[c] = headers_[c].size();
+        for (const auto &row : rows_)
+            for (std::size_t c = 0; c < row.size(); ++c)
+                width[c] = std::max(width[c], row[c].size());
+
+        auto emit = [&](const std::vector<std::string> &cells) {
+            for (std::size_t c = 0; c < cells.size(); ++c) {
+                os << cells[c] << std::string(width[c] - cells[c].size(), ' ');
+                os << (c + 1 == cells.size() ? "\n" : "  ");
+            }
+        };
+        emit(headers_);
+        std::string rule;
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            rule.append(width[c], '-');
+            if (c + 1 != headers_.size())
+                rule.append(2, '-');
+        }
+        os << rule << "\n";
+        for (const auto &row : rows_)
+            emit(row);
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hpe

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fundamental typed identifiers and units shared by every module.
+ *
+ * The simulator works at 4 KB OS-page granularity (the paper's default page
+ * size).  A "page set" is a group of 2^n virtually contiguous pages (the
+ * paper's default is 16), identified by the page address shifted right by n.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hpe {
+
+/** Simulation time in GPU core cycles (1.4 GHz in the paper's Table I). */
+using Cycle = std::uint64_t;
+
+/** Byte address in the unified virtual address space. */
+using Addr = std::uint64_t;
+
+/** Virtual page number (Addr >> kPageShift). */
+using PageId = std::uint64_t;
+
+/** Page-set number (PageId >> log2(pageSetSize)). */
+using PageSetId = std::uint64_t;
+
+/** Physical frame number in GPU memory. */
+using FrameId = std::uint64_t;
+
+/** Sentinel used for "no page" / "no frame". */
+inline constexpr std::uint64_t kInvalidId = std::numeric_limits<std::uint64_t>::max();
+
+/** 4 KB pages, same as prior work the paper follows. */
+inline constexpr unsigned kPageShift = 12;
+inline constexpr std::uint64_t kPageBytes = std::uint64_t{1} << kPageShift;
+
+/** Convert a byte address to its virtual page number. */
+constexpr PageId
+pageOf(Addr addr)
+{
+    return addr >> kPageShift;
+}
+
+/** Convert a virtual page number to the base byte address of the page. */
+constexpr Addr
+addrOf(PageId page)
+{
+    return static_cast<Addr>(page) << kPageShift;
+}
+
+/** GPU core clock from Table I; used to convert microseconds to cycles. */
+inline constexpr double kCoreClockGHz = 1.4;
+
+/** Convert a latency in microseconds to GPU core cycles. */
+constexpr Cycle
+microsToCycles(double us)
+{
+    return static_cast<Cycle>(us * kCoreClockGHz * 1000.0);
+}
+
+/** Convert GPU core cycles to microseconds. */
+constexpr double
+cyclesToMicros(Cycle cycles)
+{
+    return static_cast<double>(cycles) / (kCoreClockGHz * 1000.0);
+}
+
+} // namespace hpe

@@ -1,0 +1,79 @@
+#include "core/hir_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+HirCache::HirCache(const HpeConfig &cfg, StatRegistry &stats, const std::string &name)
+    : cfg_(cfg), array_(cfg.hirEntries, cfg.hirWays),
+      hitsRecorded_(stats.counter(name + ".hitsRecorded")),
+      conflicts_(stats.counter(name + ".conflicts")),
+      entriesPerFlush_(stats.distribution(name + ".entriesPerFlush"))
+{
+    cfg_.validate();
+}
+
+std::uint32_t
+HirCache::pageSetShift() const
+{
+    return static_cast<std::uint32_t>(std::countr_zero(cfg_.pageSetSize));
+}
+
+void
+HirCache::recordHit(PageId page)
+{
+    ++hitsRecorded_;
+    const PageSetId set = page >> pageSetShift();
+    const std::uint32_t offset = static_cast<std::uint32_t>(page & (cfg_.pageSetSize - 1));
+    const std::uint8_t ceiling =
+        static_cast<std::uint8_t>((1u << cfg_.hirCounterBits) - 1);
+
+    auto *entry = array_.find(set);
+    if (entry == nullptr) {
+        SetAssocArray<Payload>::Entry displaced;
+        SetAssocArray<Payload>::Entry *victim_out = &displaced;
+        const std::uint64_t before = array_.conflictEvictions();
+        entry = &array_.insert(set, victim_out);
+        if (array_.conflictEvictions() != before) {
+            // A way conflict silently dropped a live entry: its counts are
+            // lost, exactly the information-loss case of §IV-B.
+            ++conflicts_;
+            std::erase(order_, displaced.tag);
+        }
+        entry->data.counts.assign(cfg_.pageSetSize, 0);
+        order_.push_back(set);
+    }
+    std::uint8_t &c = entry->data.counts[offset];
+    if (c < ceiling)
+        ++c;
+}
+
+std::vector<HirRecord>
+HirCache::flush()
+{
+    std::vector<HirRecord> out;
+    out.reserve(order_.size());
+    for (PageSetId set : order_) {
+        auto *entry = array_.probe(set);
+        HPE_ASSERT(entry != nullptr, "ordered HIR entry {:#x} missing", set);
+        out.push_back(HirRecord{set, entry->data.counts});
+    }
+    entriesPerFlush_.sample(static_cast<double>(out.size()));
+    array_.clear();
+    order_.clear();
+    return out;
+}
+
+std::size_t
+HirCache::recordBytes() const
+{
+    // 48-bit tag + pageSetSize counters of hirCounterBits each (§V-C:
+    // 80 bits = 10 bytes with the default configuration).
+    const std::size_t bits = 48 + cfg_.pageSetSize * cfg_.hirCounterBits;
+    return (bits + 7) / 8;
+}
+
+} // namespace hpe

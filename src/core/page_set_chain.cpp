@@ -1,0 +1,174 @@
+#include "core/page_set_chain.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+PageSetChain::PageSetChain(const HpeConfig &cfg, StatRegistry &stats,
+                           const std::string &name)
+    : cfg_(cfg),
+      setShift_(static_cast<std::uint32_t>(std::countr_zero(cfg.pageSetSize))),
+      fullMask_(cfg.pageSetSize == 64 ? ~std::uint64_t{0}
+                                      : (std::uint64_t{1} << cfg.pageSetSize) - 1),
+      divisions_(stats.counter(name + ".divisions")),
+      insertions_(stats.counter(name + ".insertions")),
+      movements_(stats.counter(name + ".movements"))
+{
+    cfg_.validate();
+}
+
+PageSetChain::~PageSetChain()
+{
+    // Unlink nodes before the unique_ptrs release them.
+    for (auto *list : {&old_, &middle_, &new_})
+        while (!list->empty())
+            list->remove(list->front());
+}
+
+ChainEntry *
+PageSetChain::find(PageSetId set, bool secondary)
+{
+    auto it = entries_.find(ChainEntry::keyOf(set, secondary));
+    return it == entries_.end() ? nullptr : it->second.get();
+}
+
+bool
+PageSetChain::belongsToPrimary(PageId page) const
+{
+    const PageSetId set = page >> setShift_;
+    const std::uint64_t bit = std::uint64_t{1}
+        << (page & (cfg_.pageSetSize - 1));
+
+    // Fig. 6 step 2: consult the history buffer first (previously evicted
+    // divided sets), then any live divided primary on the chain.
+    if (auto it = history_.find(set); it != history_.end())
+        return (it->second & bit) != 0;
+    auto eit = entries_.find(ChainEntry::keyOf(set, false));
+    if (eit != entries_.end() && eit->second->divided)
+        return (eit->second->primaryMask & bit) != 0;
+    return true;
+}
+
+ChainEntry &
+PageSetChain::create(PageSetId set, bool secondary)
+{
+    auto entry = std::make_unique<ChainEntry>();
+    ChainEntry &ref = *entry;
+    ref.set = set;
+    ref.secondary = secondary;
+    ref.part = Partition::New;
+    // A re-inserted primary inherits its sticky first-division result so
+    // later touches keep routing to the same halves (§IV-C).
+    if (!secondary) {
+        if (auto it = history_.find(set); it != history_.end()) {
+            ref.divided = true;
+            ref.primaryMask = it->second;
+        }
+    }
+    new_.pushBack(ref);
+    entries_.emplace(ChainEntry::keyOf(set, secondary), std::move(entry));
+    ++insertions_;
+    return ref;
+}
+
+void
+PageSetChain::promoteToNew(ChainEntry &entry)
+{
+    partition(entry.part).remove(entry);
+    entry.part = Partition::New;
+    new_.pushBack(entry);
+    ++movements_;
+}
+
+TouchResult
+PageSetChain::touch(PageId page, std::uint32_t count, bool is_fault)
+{
+    HPE_ASSERT(count > 0, "touch with zero count");
+    const PageSetId set = setOf(page);
+    const std::uint32_t offset = offsetOf(page);
+    const bool secondary = !belongsToPrimary(page);
+
+    TouchResult result;
+    result.entry = find(set, secondary);
+    if (result.entry == nullptr) {
+        result.entry = &create(set, secondary);
+        result.created = true;
+    }
+    ChainEntry &e = *result.entry;
+
+    const bool was_over_threshold = e.counter >= cfg_.divisionThreshold;
+    e.counter = std::min(e.counter + count, cfg_.counterMax);
+    if (is_fault)
+        e.bitVec |= std::uint64_t{1} << offset;
+
+    // Division check (§IV-C): the first time the counter crosses the
+    // division threshold (the paper divides at saturation; lowering the
+    // threshold is the NW relaxation of §V-B), an incomplete bit vector
+    // divides the set.  Secondary halves and already divided sets never
+    // divide again, and a set with no faulted pages at all is left alone
+    // (an empty primary mask would route everything to the secondary).
+    if (cfg_.enableDivision && !was_over_threshold
+        && e.counter >= cfg_.divisionThreshold && !e.divided
+        && !e.secondary && (e.bitVec & fullMask_) != fullMask_ && e.bitVec != 0) {
+        e.divided = true;
+        e.primaryMask = e.bitVec;
+        result.dividedNow = true;
+        ++divisions_;
+    }
+
+    // Movement (§IV-C note 2): once in the new partition, further touches
+    // in the same interval cause no movement.
+    if (e.part != Partition::New)
+        promoteToNew(e);
+
+    return result;
+}
+
+void
+PageSetChain::endInterval()
+{
+    // P1 <- P2: the middle partition ages into old; P2 <- tail: the sets of
+    // the finished interval become the middle partition.
+    for (ChainEntry &e : middle_)
+        e.part = Partition::Old;
+    for (ChainEntry &e : new_)
+        e.part = Partition::Middle;
+    old_.spliceBack(middle_);
+    middle_.spliceBack(new_);
+}
+
+void
+PageSetChain::remove(ChainEntry &entry)
+{
+    if (entry.divided && !entry.secondary) {
+        // Record only the first division result (sticky thereafter).
+        history_.emplace(entry.set, entry.primaryMask);
+    }
+    partition(entry.part).remove(entry);
+    const auto erased = entries_.erase(ChainEntry::keyOf(entry.set, entry.secondary));
+    HPE_ASSERT(erased == 1, "chain entry {:#x} missing from index", entry.set);
+}
+
+IntrusiveList<ChainEntry> &
+PageSetChain::partition(Partition p)
+{
+    switch (p) {
+      case Partition::Old:
+        return old_;
+      case Partition::Middle:
+        return middle_;
+      case Partition::New:
+        return new_;
+    }
+    panic("bad partition");
+}
+
+const IntrusiveList<ChainEntry> &
+PageSetChain::partition(Partition p) const
+{
+    return const_cast<PageSetChain *>(this)->partition(p);
+}
+
+} // namespace hpe

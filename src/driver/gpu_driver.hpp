@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Timing model of the host-side GPU driver that services page faults.
+ *
+ * GPUs cannot run OS fault handlers in the shader pipeline, so faults are
+ * forwarded to a software runtime on the host CPU (§II).  This model:
+ *
+ *  - queues faults and services them one at a time with the paper's fixed
+ *    20 us handling latency (Table I);
+ *  - merges concurrent faults on the same page into one service;
+ *  - performs eviction + migration through the UvmMemoryManager at service
+ *    completion time;
+ *  - charges HPE's periodic HIR transfers to the PCIe link and extends the
+ *    triggering fault's completion accordingly (§V-B);
+ *  - wakes every waiting warp when the page becomes resident (the
+ *    replayable far-fault mechanism re-runs their translations).
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_queue.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/hpe_policy.hpp"
+#include "driver/pcie.hpp"
+#include "driver/uvm_manager.hpp"
+
+namespace hpe {
+
+/** Driver timing parameters. */
+struct DriverConfig
+{
+    /** Fixed page-fault service latency (paper: 20 us). */
+    Cycle faultServiceCycles = microsToCycles(20.0);
+    /**
+     * Minimum gap between consecutive fault-service *starts*.  Real UVM
+     * runtimes pipeline fault handling (the 20 us latency spans several
+     * PCIe round trips the host core is not busy for), so throughput is
+     * higher than 1/latency; this models that pipelining while keeping
+     * per-fault latency fixed.
+     */
+    Cycle serviceInitiationCycles = microsToCycles(5.0);
+
+    /**
+     * Sequential prefetch: on each serviced fault, migrate up to this
+     * many following non-resident pages of the same aligned 16-page block
+     * in as well (the NVIDIA driver's basic-block prefetch heuristic).
+     * Prefetching only fills *free* frames — it never evicts.  0 = off
+     * (the paper's configuration).
+     */
+    unsigned prefetchDegree = 0;
+
+    /** Aligned block size the prefetcher stays within (pages). */
+    unsigned prefetchBlockPages = 16;
+
+    /**
+     * Accumulate up to this many faults before initiating service — real
+     * UVM drivers drain the GPU's fault buffer in batches per interrupt.
+     * 1 = service immediately (the paper's fixed-latency model).
+     */
+    unsigned batchSize = 1;
+
+    /** Flush a partial batch after this long. */
+    Cycle batchTimeoutCycles = microsToCycles(5.0);
+};
+
+/** Serialized fault-service engine on the host CPU. */
+class GpuDriver
+{
+  public:
+    using Wakeup = std::function<void()>;
+
+    /**
+     * @param cfg   timing parameters.
+     * @param uvm   the functional memory manager (page table, policy).
+     * @param pcie  the CPU-GPU link (HIR transfer accounting).
+     * @param eq    event queue of the timing simulation.
+     * @param stats registry receiving "<name>.*".
+     * @param name  stat prefix, e.g. "driver".
+     * @param hpe   when the policy under study is HPE, its handle so the
+     *              driver can charge pending HIR transfer bytes; else null.
+     */
+    GpuDriver(const DriverConfig &cfg, UvmMemoryManager &uvm, PcieLink &pcie,
+              EventQueue &eq, StatRegistry &stats, const std::string &name,
+              HpePolicy *hpe = nullptr)
+        : cfg_(cfg), uvm_(uvm), pcie_(pcie), eq_(eq), hpe_(hpe),
+          serviced_(stats.counter(name + ".faultsServiced")),
+          merged_(stats.counter(name + ".faultsMerged")),
+          prefetched_(stats.counter(name + ".pagesPrefetched")),
+          queueDepth_(stats.distribution(name + ".queueDepth"))
+    {}
+
+    /**
+     * A translation for @p page faulted; @p wakeup fires once the page is
+     * resident.  Faults on a page already being serviced merge.
+     *
+     * @return true if this request initiated the fault service; false if
+     *         it merged into one already in flight (the caller's visit is
+     *         then an ordinary reference once the page arrives).
+     */
+    bool
+    requestPage(PageId page, Wakeup wakeup)
+    {
+        auto it = waiters_.find(page);
+        if (it != waiters_.end()) {
+            ++merged_;
+            it->second.push_back(std::move(wakeup));
+            return false;
+        }
+        waiters_[page].push_back(std::move(wakeup));
+        queue_.push_back(page);
+        queueDepth_.sample(static_cast<double>(queue_.size()));
+        maybeLaunch();
+        return true;
+    }
+
+    /** Total cycles the host core spent servicing faults (§V-C load). */
+    Cycle busyCycles() const { return busyCycles_; }
+
+    /** Faults currently queued or in service. */
+    std::size_t pending() const { return waiters_.size(); }
+
+  private:
+    /** Apply the batching discipline: launch now or arm the flush timer. */
+    void
+    maybeLaunch()
+    {
+        if (cfg_.batchSize <= 1 || queue_.size() >= cfg_.batchSize) {
+            launchAll();
+            return;
+        }
+        if (!flushTimerArmed_) {
+            flushTimerArmed_ = true;
+            eq_.scheduleIn(cfg_.batchTimeoutCycles, [this] {
+                flushTimerArmed_ = false;
+                launchAll();
+            });
+        }
+    }
+
+    /** Launch queued faults, staggered by the initiation interval. */
+    void
+    launchAll()
+    {
+        while (!queue_.empty()) {
+            const Cycle start = std::max(eq_.now(), nextStart_);
+            nextStart_ = start + cfg_.serviceInitiationCycles;
+            const PageId page = queue_.front();
+            queue_.pop_front();
+            // Host-core occupancy: the initiation slice per fault.
+            busyCycles_ += cfg_.serviceInitiationCycles;
+            eq_.schedule(start + cfg_.faultServiceCycles,
+                         [this, page] { complete(page); });
+        }
+    }
+
+    void
+    complete(PageId page)
+    {
+        const FaultOutcome outcome = uvm_.handleFault(page);
+        ++serviced_;
+
+        Cycle done = eq_.now();
+        // A dirty victim is written back to host memory over PCIe (a
+        // clean page is simply dropped — the host copy is current).
+        if (outcome.evicted && outcome.victimDirty)
+            done = pcie_.transfer(done, kPageBytes);
+
+        // Sequential block prefetch into free frames.  Pages with a fault
+        // already queued are left to their own service.
+        if (cfg_.prefetchDegree > 0) {
+            const PageId block_end =
+                (page / cfg_.prefetchBlockPages + 1) * cfg_.prefetchBlockPages;
+            PageId q = page + 1;
+            for (unsigned n = 0;
+                 n < cfg_.prefetchDegree && q < block_end
+                 && uvm_.hasFreeFrame();
+                 ++n, ++q) {
+                if (uvm_.resident(q) || waiters_.contains(q))
+                    continue;
+                uvm_.prefetchIn(q);
+                done = pcie_.transfer(done, kPageBytes);
+                ++prefetched_;
+            }
+        }
+        // HIR batches ride the PCIe link with the evicted page; their
+        // transfer latency extends this fault's completion (§V-B).
+        if (hpe_ != nullptr) {
+            const std::uint64_t hir_bytes = hpe_->takePendingTransferBytes();
+            if (hir_bytes > 0)
+                done = pcie_.transfer(done, hir_bytes);
+        }
+
+        auto node = waiters_.extract(page);
+        HPE_ASSERT(!node.empty(), "fault completion with no waiters");
+        eq_.schedule(done, [waiters = std::move(node.mapped())] {
+            for (const Wakeup &w : waiters)
+                w();
+        });
+    }
+
+    DriverConfig cfg_;
+    UvmMemoryManager &uvm_;
+    PcieLink &pcie_;
+    EventQueue &eq_;
+    HpePolicy *hpe_;
+
+    std::deque<PageId> queue_;
+    std::unordered_map<PageId, std::vector<Wakeup>> waiters_;
+    Cycle nextStart_ = 0;
+    Cycle busyCycles_ = 0;
+    bool flushTimerArmed_ = false;
+
+    Counter &serviced_;
+    Counter &merged_;
+    Counter &prefetched_;
+    Distribution &queueDepth_;
+};
+
+} // namespace hpe

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CPU-GPU interconnect model (Table I: 16 GB/s).
+ *
+ * The link is a single shared resource with an occupancy horizon: a
+ * transfer arriving at cycle t starts at max(t, horizon) and holds the
+ * link for bytes/bandwidth cycles.  Page migrations, evicted pages, and
+ * HIR flushes all contend for it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace hpe {
+
+/** Link bandwidth and derived per-byte cost. */
+struct PcieConfig
+{
+    double bandwidthGBs = 16.0;
+
+    /** Cycles to move @p bytes at the configured bandwidth. */
+    Cycle
+    cyclesForBytes(std::uint64_t bytes) const
+    {
+        const double bytes_per_cycle =
+            bandwidthGBs * 1e9 / (kCoreClockGHz * 1e9);
+        const double cycles = static_cast<double>(bytes) / bytes_per_cycle;
+        return cycles < 1.0 ? 1 : static_cast<Cycle>(cycles);
+    }
+};
+
+/** Occupancy-tracking PCIe link. */
+class PcieLink
+{
+  public:
+    PcieLink(const PcieConfig &cfg, StatRegistry &stats, const std::string &name)
+        : cfg_(cfg),
+          bytesMoved_(stats.counter(name + ".bytes")),
+          transfers_(stats.counter(name + ".transfers"))
+    {}
+
+    /**
+     * Reserve the link for @p bytes starting no earlier than @p now.
+     * @return the cycle at which the transfer completes.
+     */
+    Cycle
+    transfer(Cycle now, std::uint64_t bytes)
+    {
+        const Cycle start = now > horizon_ ? now : horizon_;
+        horizon_ = start + cfg_.cyclesForBytes(bytes);
+        bytesMoved_ += bytes;
+        ++transfers_;
+        return horizon_;
+    }
+
+    /** Cycle at which the link next becomes free. */
+    Cycle horizon() const { return horizon_; }
+
+    const PcieConfig &config() const { return cfg_; }
+
+  private:
+    PcieConfig cfg_;
+    Cycle horizon_ = 0;
+    Counter &bytesMoved_;
+    Counter &transfers_;
+};
+
+} // namespace hpe

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Functional unified-memory manager: the part of the GPU driver that the
+ * eviction study revolves around.
+ *
+ * Owns the GPU page table, the physical frame pool (whose size the
+ * oversubscription rate constrains), and the eviction policy.  Both the
+ * functional paging simulator and the timing GPU driver funnel every page
+ * fault through handleFault(), which enforces the policy call protocol:
+ * onFault -> selectVictim/onEvict (if memory is full) -> map/onMigrateIn.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/page_table.hpp"
+#include "mem/radix_page_table.hpp"
+#include "policy/eviction_policy.hpp"
+
+namespace hpe {
+
+/** What one fault service did (for TLB shootdown and PCIe accounting). */
+struct FaultOutcome
+{
+    bool evicted = false;
+    PageId victim = kInvalidId;
+    /** The victim had been written: it must be written back over PCIe. */
+    bool victimDirty = false;
+    FrameId frame = kInvalidId;
+};
+
+/** Page table + frame pool + eviction policy, with the driver protocol. */
+class UvmMemoryManager
+{
+  public:
+    /** Invoked with each evicted page (TLB/cache shootdown hook). */
+    using EvictHook = std::function<void(PageId)>;
+
+    /**
+     * @param num_frames GPU memory capacity in pages.
+     * @param policy     the eviction policy under study (not owned).
+     * @param stats      registry receiving "<name>.*".
+     * @param name       stat prefix, e.g. "driver.uvm".
+     */
+    UvmMemoryManager(std::size_t num_frames, EvictionPolicy &policy,
+                     StatRegistry &stats, const std::string &name)
+        : policy_(policy), frames_(num_frames),
+          faults_(stats.counter(name + ".faults")),
+          evictions_(stats.counter(name + ".evictions")),
+          hits_(stats.counter(name + ".hits")),
+          refaults_(stats.counter(name + ".refaults")),
+          dirtyEvictions_(stats.counter(name + ".dirtyEvictions")),
+          prefetches_(stats.counter(name + ".prefetches"))
+    {}
+
+    /** True if @p page is mapped in GPU memory. */
+    bool resident(PageId page) const { return table_.resident(page); }
+
+    /** Record a reference that hit (page-walk hit); updates the policy. */
+    void
+    recordHit(PageId page)
+    {
+        ++hits_;
+        policy_.onHit(page);
+    }
+
+    /** Mark @p page written; its eviction then requires a writeback. */
+    void
+    markDirty(PageId page)
+    {
+        HPE_ASSERT(table_.resident(page), "write to non-resident page {:#x}", page);
+        dirty_.insert(page);
+    }
+
+    bool isDirty(PageId page) const { return dirty_.contains(page); }
+
+    /**
+     * Service a page fault on @p page: evict one page if memory is full,
+     * then migrate @p page in.  @p page must not be resident.
+     */
+    FaultOutcome
+    handleFault(PageId page)
+    {
+        HPE_ASSERT(!table_.resident(page), "fault on resident page {:#x}", page);
+        ++faults_;
+        if (evictedOnce_.contains(page))
+            ++refaults_; // a page the policy once evicted came back
+        policy_.onFault(page);
+
+        FaultOutcome out;
+        if (frames_.full()) {
+            const PageId victim = policy_.selectVictim();
+            HPE_ASSERT(table_.resident(victim),
+                       "policy chose non-resident victim {:#x}", victim);
+            frames_.release(table_.unmap(victim));
+            if (radixMirror_ != nullptr)
+                radixMirror_->unmap(victim);
+            policy_.onEvict(victim);
+            ++evictions_;
+            evictedOnce_.insert(victim);
+            out.evicted = true;
+            out.victim = victim;
+            out.victimDirty = dirty_.erase(victim) > 0;
+            if (out.victimDirty)
+                ++dirtyEvictions_;
+            if (evictHook_)
+                evictHook_(victim);
+        }
+        out.frame = frames_.allocate();
+        table_.map(page, out.frame);
+        if (radixMirror_ != nullptr)
+            radixMirror_->map(page, out.frame);
+        policy_.onMigrateIn(page);
+        return out;
+    }
+
+    /**
+     * Migrate @p page in as a prefetch: no fault is charged and the
+     * eviction policy only learns of the arrival (onMigrateIn).  Only
+     * legal while a free frame exists — prefetching never evicts.
+     */
+    void
+    prefetchIn(PageId page)
+    {
+        HPE_ASSERT(!table_.resident(page), "prefetch of resident page {:#x}", page);
+        HPE_ASSERT(!frames_.full(), "prefetch would require an eviction");
+        const FrameId frame = frames_.allocate();
+        table_.map(page, frame);
+        if (radixMirror_ != nullptr)
+            radixMirror_->map(page, frame);
+        policy_.onMigrateIn(page);
+        ++prefetches_;
+    }
+
+    std::uint64_t prefetches() const { return prefetches_.value(); }
+
+    /** True while a free frame remains (prefetching is allowed). */
+    bool hasFreeFrame() const { return !frames_.full(); }
+
+    /**
+     * Mirror every mapping change into @p radix (the multi-level walker's
+     * table); pass nullptr to stop mirroring.  The mirror must be empty
+     * (or consistent) when attached.
+     */
+    void
+    setRadixMirror(RadixPageTable *radix)
+    {
+        HPE_ASSERT(radix == nullptr || radix->size() == table_.size(),
+                   "radix mirror out of sync at attach");
+        radixMirror_ = radix;
+    }
+
+    void setEvictHook(EvictHook hook) { evictHook_ = std::move(hook); }
+
+    const PageTable &pageTable() const { return table_; }
+    PageTable &pageTable() { return table_; }
+    std::size_t capacity() const { return frames_.capacity(); }
+    std::size_t residentPages() const { return table_.size(); }
+
+    std::uint64_t faults() const { return faults_.value(); }
+    std::uint64_t evictions() const { return evictions_.value(); }
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t refaults() const { return refaults_.value(); }
+    std::uint64_t dirtyEvictions() const { return dirtyEvictions_.value(); }
+
+  private:
+    EvictionPolicy &policy_;
+    PageTable table_;
+    FrameAllocator frames_;
+    EvictHook evictHook_;
+    RadixPageTable *radixMirror_ = nullptr;
+    std::unordered_set<PageId> evictedOnce_;
+    std::unordered_set<PageId> dirty_;
+    Counter &faults_;
+    Counter &evictions_;
+    Counter &hits_;
+    Counter &refaults_;
+    Counter &dirtyEvictions_;
+    Counter &prefetches_;
+};
+
+} // namespace hpe

@@ -1,0 +1,247 @@
+#include "gpu/gpu_system.hpp"
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+GpuSystem::GpuSystem(const GpuConfig &cfg, const Trace &trace,
+                     EvictionPolicy &policy, std::size_t frames,
+                     StatRegistry &stats, HpePolicy *hpe)
+    : cfg_(cfg), trace_(trace),
+      uvm_(frames, policy, stats, "driver.uvm"),
+      pcie_(cfg.pcie, stats, "pcie"),
+      driver_(cfg.driver, uvm_, pcie_, eq_, stats, "driver", hpe),
+      accesses_(stats.counter("gpu.lineAccesses"))
+{
+    l2Tlb_ = std::make_unique<Tlb>(cfg_.l2Tlb, stats, "gpu.l2tlb");
+    if (cfg_.walkerMode == WalkerMode::FixedLatency) {
+        walker_ = std::make_unique<FixedLatencyWalker>(
+            uvm_.pageTable(), cfg_.walkLatency, stats, "gpu.walker");
+    } else {
+        radixTable_ = std::make_unique<RadixPageTable>(cfg_.radix);
+        uvm_.setRadixMirror(radixTable_.get());
+        walker_ = std::make_unique<MultiLevelWalker>(*radixTable_, cfg_.mlWalker,
+                                                     stats, "gpu.walker");
+    }
+    l2d_ = std::make_unique<DataCache>(cfg_.l2d, stats, "gpu.l2d");
+    dram_ = std::make_unique<Dram>(cfg_.dram, eq_, stats, "gpu.dram");
+
+    // HPE taps page-walk hits through the HIR cache beside the walker
+    // (§IV-B).  The baseline policies instead get the paper's "ideal
+    // model": every reference updates their chains in exact order with no
+    // transfer cost — delivered per translated visit in memAccess().
+    idealHitChannel_ = (hpe == nullptr);
+    if (!idealHitChannel_)
+        walker_->setHitObserver([&policy](PageId page) { policy.onHit(page); });
+
+    uvm_.setEvictHook([this](PageId page) { onEvictPage(page); });
+
+    sms_.resize(cfg_.numSms);
+    for (unsigned s = 0; s < cfg_.numSms; ++s) {
+        sms_[s].l1Tlb = std::make_unique<Tlb>(cfg_.l1Tlb, stats,
+                                              "gpu.sm" + std::to_string(s) + ".l1tlb");
+        sms_[s].l1d = std::make_unique<DataCache>(cfg_.l1d, stats,
+                                                  "gpu.sm" + std::to_string(s) + ".l1d");
+    }
+
+    const unsigned total_warps = cfg_.numSms * cfg_.warpsPerSm;
+    warps_.resize(total_warps);
+    for (unsigned w = 0; w < total_warps; ++w)
+        warps_[w].smId = w % cfg_.numSms;
+}
+
+void
+GpuSystem::onEvictPage(PageId page)
+{
+    // TLB shootdown and cache invalidation for the evicted page.
+    l2Tlb_->invalidate(page);
+    for (Sm &sm : sms_) {
+        sm.l1Tlb->invalidate(page);
+        sm.l1d->invalidatePage(page);
+    }
+    l2d_->invalidatePage(page);
+}
+
+void
+GpuSystem::issueNext(Warp &warp)
+{
+    if (warp.refIdx >= warp.refs.size()) {
+        if (!warp.done) {
+            warp.done = true;
+            HPE_ASSERT(liveWarps_ > 0, "warp retire underflow");
+            --liveWarps_;
+        }
+        return;
+    }
+    const PageRef &ref = trace_.refs()[warp.refs[warp.refIdx]];
+    const std::uint64_t lines_per_page = kPageBytes / cfg_.l1d.lineBytes;
+    const Addr addr = addrOf(ref.page)
+        + (warp.lineIdx % lines_per_page) * cfg_.l1d.lineBytes;
+    translate(warp, addr);
+}
+
+void
+GpuSystem::translate(Warp &warp, Addr addr)
+{
+    const PageId page = pageOf(addr);
+    Sm &sm = sms_[warp.smId];
+
+    const Cycle l1_delay = sm.l1Tlb->issueDelay(eq_.now()) + sm.l1Tlb->latency();
+    eq_.scheduleIn(l1_delay, [this, &warp, &sm, addr, page] {
+        if (sm.l1Tlb->lookup(page)) {
+            memAccess(warp, addr);
+            return;
+        }
+        const Cycle l2_delay = l2Tlb_->issueDelay(eq_.now()) + l2Tlb_->latency();
+        eq_.scheduleIn(l2_delay, [this, &warp, &sm, addr, page] {
+            if (l2Tlb_->lookup(page)) {
+                sm.l1Tlb->fill(page);
+                memAccess(warp, addr);
+                return;
+            }
+            // The walk is resolved now (its latency may depend on the PWC
+            // state) and its outcome applies after that latency elapses.
+            const WalkResult walk = walker_->walk(page);
+            eq_.scheduleIn(walk.latency, [this, &warp, &sm, addr, page,
+                                          hit = walk.hit] {
+                if (hit) {
+                    l2Tlb_->fill(page);
+                    sm.l1Tlb->fill(page);
+                    memAccess(warp, addr);
+                    return;
+                }
+                if (uvm_.resident(page)) {
+                    // Another warp's fault service landed the page while
+                    // this walk was in flight: proceed as a hit.
+                    l2Tlb_->fill(page);
+                    sm.l1Tlb->fill(page);
+                    memAccess(warp, addr);
+                    return;
+                }
+                // Far fault: this warp stalls until the driver migrates
+                // the page in; the SM's other warps keep running (the
+                // replayable far-fault mechanism).  The fault response
+                // carries the new translation, which is installed in the
+                // TLBs directly — the replayed access does not walk again,
+                // so a serviced fault is not double-counted as a walk hit.
+                // A merged request is not "the" fault: its visit reaches
+                // the policy as an ordinary reference after the wakeup.
+                warp.visitFaulted = driver_.requestPage(
+                    page, [this, &warp, &sm, addr, page] {
+                        sm.l1Tlb->fill(page);
+                        l2Tlb_->fill(page);
+                        translate(warp, addr);
+                    });
+            });
+        });
+    });
+}
+
+void
+GpuSystem::memAccess(Warp &warp, Addr addr)
+{
+    // Ideal-model reference feed: one onHit per page visit, unless the
+    // visit already reached the policy as a fault.
+    if (idealHitChannel_ && warp.lineIdx == 0 && !warp.visitFaulted)
+        uvm_.recordHit(pageOf(addr));
+
+    // A store makes the page dirty: evicting it later costs a writeback.
+    if (warp.lineIdx == 0 && trace_.refs()[warp.refs[warp.refIdx]].write)
+        uvm_.markDirty(pageOf(addr));
+
+    Sm &sm = sms_[warp.smId];
+    if (sm.l1d->access(addr)) {
+        eq_.scheduleIn(sm.l1d->hitLatency(), [this, &warp] { finishAccess(warp); });
+        return;
+    }
+    eq_.scheduleIn(cfg_.l2d.hitLatency, [this, &warp, addr] {
+        if (l2d_->access(addr)) {
+            finishAccess(warp);
+            return;
+        }
+        dram_->read(addr, [this, &warp] { finishAccess(warp); });
+    });
+}
+
+void
+GpuSystem::finishAccess(Warp &warp)
+{
+    ++instructions_;
+    ++accesses_;
+
+    const PageRef &ref = trace_.refs()[warp.refs[warp.refIdx]];
+    Cycle gap = cfg_.intraBurstGap;
+    if (++warp.lineIdx >= ref.burst) {
+        warp.lineIdx = 0;
+        ++warp.refIdx;
+        warp.visitFaulted = false;
+        gap = cfg_.computeGap;
+    }
+    eq_.scheduleIn(gap, [this, &warp] { issueNext(warp); });
+}
+
+TimingResult
+GpuSystem::run()
+{
+    // Kernel segments run back to back with a global barrier in between
+    // (iterative applications re-launch kernels per pass; a pass cannot
+    // overtake its predecessor).  Within a kernel, visits are dealt
+    // round-robin to warps, approximating the lockstep progress of a
+    // data-parallel kernel over the global reference pattern.
+    for (std::size_t k = 0; k < trace_.kernelCount(); ++k) {
+        const auto [begin, end] = trace_.kernelRange(k);
+        liveWarps_ = 0;
+        for (Warp &warp : warps_) {
+            warp.refs.clear();
+            warp.refIdx = 0;
+            warp.lineIdx = 0;
+            warp.visitFaulted = false;
+            warp.done = false;
+        }
+        // Rotate the visit->warp mapping by a coprime stride per kernel:
+        // successive launches place the same data on different SMs (real
+        // schedulers give no cross-launch affinity), so per-SM TLB
+        // residue from the previous pass does not mask the shared-L2-TLB
+        // pressure that page-walk hits (and hence HPE's HIR) depend on.
+        const std::size_t rot = (k * 7) % warps_.size();
+        for (std::size_t i = begin; i < end; ++i)
+            warps_[(i - begin + rot) % warps_.size()].refs.push_back(
+                static_cast<std::uint32_t>(i));
+
+        for (Warp &warp : warps_) {
+            if (warp.refs.empty()) {
+                warp.done = true;
+                continue;
+            }
+            ++liveWarps_;
+            // Stagger warp starts to avoid a thundering herd on the first
+            // cycle (and to make port contention observable).
+            eq_.schedule(eq_.now() + 1
+                             + static_cast<Cycle>(&warp - warps_.data()) % 32,
+                         [this, &warp] { issueNext(warp); });
+        }
+
+        while (!eq_.empty()) {
+            if (cfg_.maxCycles != 0 && eq_.now() > cfg_.maxCycles)
+                fatal("timing simulation exceeded maxCycles={}", cfg_.maxCycles);
+            eq_.step();
+        }
+        HPE_ASSERT(liveWarps_ == 0, "deadlock: {} warps never retired", liveWarps_);
+    }
+
+    TimingResult r;
+    r.cycles = eq_.now();
+    r.instructions = instructions_;
+    r.ipc = r.cycles == 0 ? 0.0
+                          : static_cast<double>(r.instructions)
+                                / static_cast<double>(r.cycles);
+    r.faults = uvm_.faults();
+    r.evictions = uvm_.evictions();
+    r.driverBusyCycles = driver_.busyCycles();
+    r.hostLoad = r.cycles == 0 ? 0.0
+                               : static_cast<double>(r.driverBusyCycles)
+                                     / static_cast<double>(r.cycles);
+    return r;
+}
+
+} // namespace hpe

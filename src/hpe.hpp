@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Umbrella header: everything a downstream user of the library needs.
+ *
+ *   #include <hpe.hpp>
+ *
+ *   hpe::Trace trace = hpe::buildApp("HSD");
+ *   hpe::RunConfig cfg{.oversub = 0.75};
+ *   auto r = hpe::runTiming(trace, hpe::PolicyKind::Hpe, cfg);
+ *
+ * Individual component headers remain includable on their own; this
+ * header simply aggregates the public surface.
+ */
+
+#pragma once
+
+// Fundamentals
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+// Eviction policies
+#include "core/hpe_config.hpp"
+#include "core/hpe_policy.hpp"
+#include "policy/clock.hpp"
+#include "policy/clock_pro.hpp"
+#include "policy/dip.hpp"
+#include "policy/eviction_policy.hpp"
+#include "policy/fifo.hpp"
+#include "policy/lfu.hpp"
+#include "policy/lru.hpp"
+#include "policy/min.hpp"
+#include "policy/random.hpp"
+#include "policy/rrip.hpp"
+
+// Workloads
+#include "workload/apps.hpp"
+#include "workload/patterns.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_io.hpp"
+
+// Simulators and experiment runners
+#include "gpu/gpu_system.hpp"
+#include "sim/experiment.hpp"
+#include "sim/multi_app.hpp"
+#include "sim/paging_simulator.hpp"
+#include "sim/policy_factory.hpp"

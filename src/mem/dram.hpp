@@ -1,0 +1,168 @@
+/**
+ * @file
+ * GDDR5 DRAM model with FR-FCFS scheduling (Table I: 12 channels,
+ * 177 GB/s aggregate, FR-FCFS).
+ *
+ * Each channel owns a request queue and a set of banks with open-row state.
+ * When a channel is idle it picks the first row-buffer-hit request in queue
+ * order, or the oldest request if none hits — the FR-FCFS discipline.
+ * Completion is signalled through the shared EventQueue.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace hpe {
+
+/** DRAM geometry and timing (cycles are GPU core cycles). */
+struct DramConfig
+{
+    std::size_t channels = 12;
+    std::size_t banksPerChannel = 16;
+    std::size_t rowBytes = 2048;
+    std::size_t lineBytes = 128;
+    /** Column access on an open row. */
+    Cycle rowHitLatency = 40;
+    /** Precharge + activate + column access. */
+    Cycle rowMissLatency = 120;
+    /** Data transfer occupancy of the channel per request. */
+    Cycle burstCycles = 4;
+};
+
+/** Multi-channel DRAM with per-channel FR-FCFS queues. */
+class Dram
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * @param cfg   geometry/timing.
+     * @param eq    event queue driving completions.
+     * @param stats registry receiving "<name>.*" counters.
+     * @param name  stat prefix, e.g. "gpu.dram".
+     */
+    Dram(const DramConfig &cfg, EventQueue &eq, StatRegistry &stats,
+         const std::string &name)
+        : cfg_(cfg), eq_(eq),
+          reads_(stats.counter(name + ".reads")),
+          rowHits_(stats.counter(name + ".rowHits")),
+          rowMisses_(stats.counter(name + ".rowMisses")),
+          channels_(cfg.channels)
+    {
+        for (auto &ch : channels_)
+            ch.openRow.assign(cfg_.banksPerChannel, kInvalidId);
+    }
+
+    /**
+     * Enqueue a read of the line containing @p addr; @p done fires when the
+     * data would be returned.
+     */
+    void
+    read(Addr addr, Callback done)
+    {
+        ++reads_;
+        Channel &ch = channels_[channelOf(addr)];
+        ch.queue.push_back(Request{addr, std::move(done)});
+        if (!ch.busy)
+            serviceNext(channelOf(addr));
+    }
+
+    /** True when every channel queue is empty and idle. */
+    bool
+    idle() const
+    {
+        for (const Channel &ch : channels_)
+            if (ch.busy || !ch.queue.empty())
+                return false;
+        return true;
+    }
+
+    std::uint64_t rowHits() const { return rowHits_.value(); }
+    std::uint64_t rowMisses() const { return rowMisses_.value(); }
+
+  private:
+    struct Request
+    {
+        Addr addr;
+        Callback done;
+    };
+
+    struct Channel
+    {
+        std::deque<Request> queue;
+        std::vector<std::uint64_t> openRow;
+        bool busy = false;
+    };
+
+    std::size_t
+    channelOf(Addr addr) const
+    {
+        // Interleave at line granularity across channels.
+        return (addr / cfg_.lineBytes) % cfg_.channels;
+    }
+
+    std::size_t
+    bankOf(Addr addr) const
+    {
+        return (addr / cfg_.rowBytes) % cfg_.banksPerChannel;
+    }
+
+    std::uint64_t
+    rowOf(Addr addr) const
+    {
+        return addr / cfg_.rowBytes / cfg_.banksPerChannel;
+    }
+
+    /** FR-FCFS pick: first row hit in queue order, else the oldest. */
+    void
+    serviceNext(std::size_t chan_idx)
+    {
+        Channel &ch = channels_[chan_idx];
+        if (ch.queue.empty())
+            return;
+        std::size_t pick = 0;
+        bool hit = false;
+        for (std::size_t i = 0; i < ch.queue.size(); ++i) {
+            const Request &r = ch.queue[i];
+            if (ch.openRow[bankOf(r.addr)] == rowOf(r.addr)) {
+                pick = i;
+                hit = true;
+                break;
+            }
+        }
+        Request req = std::move(ch.queue[pick]);
+        ch.queue.erase(ch.queue.begin() + static_cast<std::ptrdiff_t>(pick));
+
+        Cycle latency = cfg_.burstCycles + (hit ? cfg_.rowHitLatency : cfg_.rowMissLatency);
+        if (hit)
+            ++rowHits_;
+        else
+            ++rowMisses_;
+        ch.openRow[bankOf(req.addr)] = rowOf(req.addr);
+        ch.busy = true;
+        eq_.scheduleIn(latency, [this, chan_idx, done = std::move(req.done)]() {
+            done();
+            Channel &c = channels_[chan_idx];
+            c.busy = false;
+            serviceNext(chan_idx);
+        });
+    }
+
+    DramConfig cfg_;
+    EventQueue &eq_;
+    Counter &reads_;
+    Counter &rowHits_;
+    Counter &rowMisses_;
+    std::vector<Channel> channels_;
+};
+
+} // namespace hpe

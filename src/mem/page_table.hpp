@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Single-level GPU page table (the paper simplifies to one level with a
+ * fixed walk latency) and the physical frame allocator.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace hpe {
+
+/**
+ * Maps virtual pages to GPU physical frames.
+ *
+ * The walker consults this table; the driver installs and removes mappings
+ * as pages migrate in and out of GPU memory.
+ */
+class PageTable
+{
+  public:
+    /** @return the frame of @p page, or kInvalidId if not resident. */
+    FrameId
+    lookup(PageId page) const
+    {
+        auto it = map_.find(page);
+        return it == map_.end() ? kInvalidId : it->second;
+    }
+
+    /** True if @p page currently has a GPU mapping. */
+    bool resident(PageId page) const { return map_.contains(page); }
+
+    /** Install a mapping; @p page must not already be mapped. */
+    void
+    map(PageId page, FrameId frame)
+    {
+        auto [it, inserted] = map_.emplace(page, frame);
+        HPE_ASSERT(inserted, "double map of page {:#x}", page);
+    }
+
+    /** Remove the mapping of @p page. @return the frame it occupied. */
+    FrameId
+    unmap(PageId page)
+    {
+        auto it = map_.find(page);
+        HPE_ASSERT(it != map_.end(), "unmap of non-resident page {:#x}", page);
+        FrameId frame = it->second;
+        map_.erase(it);
+        return frame;
+    }
+
+    /** Number of resident pages. */
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    std::unordered_map<PageId, FrameId> map_;
+};
+
+/**
+ * Free-list allocator over a fixed pool of GPU physical frames.  Its
+ * capacity is what the oversubscription rate constrains.
+ */
+class FrameAllocator
+{
+  public:
+    /** @param num_frames GPU memory capacity in 4 KB frames. */
+    explicit FrameAllocator(std::size_t num_frames)
+        : capacity_(num_frames)
+    {
+        HPE_ASSERT(num_frames > 0, "empty frame pool");
+        free_.reserve(num_frames);
+        // Hand out ascending frame numbers first (pop from the back).
+        for (std::size_t f = num_frames; f > 0; --f)
+            free_.push_back(f - 1);
+    }
+
+    /** True when no frame is free (an eviction is needed before a fill). */
+    bool full() const { return free_.empty(); }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t freeCount() const { return free_.size(); }
+
+    /** Take a free frame; pool must not be full. */
+    FrameId
+    allocate()
+    {
+        HPE_ASSERT(!free_.empty(), "allocate() from exhausted frame pool");
+        FrameId f = free_.back();
+        free_.pop_back();
+        return f;
+    }
+
+    /** Return @p frame to the pool. */
+    void
+    release(FrameId frame)
+    {
+        HPE_ASSERT(frame < capacity_, "release of bogus frame {}", frame);
+        free_.push_back(frame);
+        HPE_ASSERT(free_.size() <= capacity_, "double release detected");
+    }
+
+  private:
+    std::size_t capacity_;
+    std::vector<FrameId> free_;
+};
+
+} // namespace hpe

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Four-level radix page table (x86-64 style, 9 bits per level).
+ *
+ * The paper simplifies to a single-level table with a fixed 8-cycle walk;
+ * §II's background describes the real design this models: a multi-level
+ * table whose walker touches one node per level, accelerated by a shared
+ * page walk cache (Power et al. [17]).  Nodes are allocated and pruned as
+ * mappings come and go, so table-structure statistics (node count, walk
+ * depth) are real rather than assumed.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace hpe {
+
+/** Geometry of the radix tree. */
+struct RadixConfig
+{
+    unsigned levels = 4;       ///< tree depth (leaf PTEs live at level 1)
+    unsigned bitsPerLevel = 9; ///< children per node = 2^bitsPerLevel
+};
+
+/** A pruned radix tree mapping virtual pages to frames. */
+class RadixPageTable
+{
+  public:
+    explicit RadixPageTable(const RadixConfig &cfg = {})
+        : cfg_(cfg), root_(std::make_unique<Node>())
+    {
+        HPE_ASSERT(cfg.levels >= 2 && cfg.levels <= 6, "bad level count");
+        HPE_ASSERT(cfg.bitsPerLevel >= 1 && cfg.bitsPerLevel <= 12,
+                   "bad bits per level");
+    }
+
+    /** Index of @p page within its level-@p level node. */
+    std::uint32_t
+    indexAt(PageId page, unsigned level) const
+    {
+        const unsigned shift = cfg_.bitsPerLevel * (level - 1);
+        return static_cast<std::uint32_t>((page >> shift)
+                                          & ((1u << cfg_.bitsPerLevel) - 1));
+    }
+
+    /**
+     * The page-number prefix identifying the level-@p level node that a
+     * walk for @p page traverses (usable as a walk-cache tag).
+     */
+    PageId
+    prefixAt(PageId page, unsigned level) const
+    {
+        return page >> (cfg_.bitsPerLevel * (level - 1));
+    }
+
+    /** Install a mapping, allocating interior nodes as needed. */
+    void
+    map(PageId page, FrameId frame)
+    {
+        Node *node = root_.get();
+        for (unsigned level = cfg_.levels; level >= 2; --level) {
+            ++node->population;
+            auto &child = node->children[indexAt(page, level)];
+            if (!child) {
+                child = std::make_unique<Node>();
+                ++nodeCount_;
+            }
+            node = child.get();
+        }
+        const auto [it, inserted] = node->leaves.emplace(indexAt(page, 1), frame);
+        (void)it;
+        HPE_ASSERT(inserted, "double map of page {:#x}", page);
+        ++node->population;
+        ++size_;
+    }
+
+    /** Remove a mapping, pruning emptied interior nodes. */
+    FrameId
+    unmap(PageId page)
+    {
+        FrameId frame = kInvalidId;
+        prune(*root_, page, cfg_.levels, frame);
+        HPE_ASSERT(frame != kInvalidId, "unmap of non-resident page {:#x}", page);
+        --size_;
+        return frame;
+    }
+
+    /** @return the frame of @p page, or kInvalidId. */
+    FrameId
+    lookup(PageId page) const
+    {
+        const Node *node = root_.get();
+        for (unsigned level = cfg_.levels; level >= 2; --level) {
+            auto it = node->children.find(indexAt(page, level));
+            if (it == node->children.end())
+                return kInvalidId;
+            node = it->second.get();
+        }
+        auto it = node->leaves.find(indexAt(page, 1));
+        return it == node->leaves.end() ? kInvalidId : it->second;
+    }
+
+    bool resident(PageId page) const { return lookup(page) != kInvalidId; }
+
+    /**
+     * Walk the tree for @p page invoking @p visit(level) top-down for
+     * every level the walker actually touches (it stops at the first
+     * absent entry, like real hardware).
+     * @return the frame, or kInvalidId on a fault.
+     */
+    template <typename Fn>
+    FrameId
+    walk(PageId page, Fn &&visit) const
+    {
+        const Node *node = root_.get();
+        for (unsigned level = cfg_.levels; level >= 2; --level) {
+            visit(level);
+            auto it = node->children.find(indexAt(page, level));
+            if (it == node->children.end())
+                return kInvalidId;
+            node = it->second.get();
+        }
+        visit(1u);
+        auto it = node->leaves.find(indexAt(page, 1));
+        return it == node->leaves.end() ? kInvalidId : it->second;
+    }
+
+    std::size_t size() const { return size_; }
+
+    /** Interior nodes currently allocated (excluding the root). */
+    std::size_t nodeCount() const { return nodeCount_; }
+
+    const RadixConfig &config() const { return cfg_; }
+
+  private:
+    struct Node
+    {
+        std::unordered_map<std::uint32_t, std::unique_ptr<Node>> children;
+        std::unordered_map<std::uint32_t, FrameId> leaves;
+        /** Mappings reachable through this node (for pruning). */
+        std::size_t population = 0;
+    };
+
+    /** Recursive unmap with empty-node pruning. */
+    void
+    prune(Node &node, PageId page, unsigned level, FrameId &frame)
+    {
+        if (level == 1) {
+            auto it = node.leaves.find(indexAt(page, 1));
+            if (it == node.leaves.end())
+                return;
+            frame = it->second;
+            node.leaves.erase(it);
+            --node.population;
+            return;
+        }
+        auto it = node.children.find(indexAt(page, level));
+        if (it == node.children.end())
+            return;
+        prune(*it->second, page, level - 1, frame);
+        if (frame == kInvalidId)
+            return;
+        --node.population;
+        if (it->second->population == 0) {
+            node.children.erase(it);
+            --nodeCount_;
+        }
+    }
+
+    RadixConfig cfg_;
+    std::unique_ptr<Node> root_;
+    std::size_t size_ = 0;
+    std::size_t nodeCount_ = 0;
+};
+
+} // namespace hpe

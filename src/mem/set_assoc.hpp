@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Generic set-associative array with LRU replacement.
+ *
+ * Shared by the TLBs, the data caches, and the HIR hit-information record
+ * cache — they differ only in tag semantics and per-entry payload.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+/**
+ * A ways x sets array of entries tagged with 64-bit keys.
+ *
+ * @tparam Payload per-entry user data, default-constructed on insertion.
+ *
+ * LRU state is an age stamp per entry; the arrays here are small (hundreds
+ * to thousands of entries), so stamp comparison within a set is cheap and
+ * exact.
+ */
+template <typename Payload>
+class SetAssocArray
+{
+  public:
+    /** One resident entry. */
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+        Payload data{};
+    };
+
+    /**
+     * @param num_entries total capacity; must be a multiple of @p num_ways.
+     * @param num_ways    associativity; the set count must be a power of two.
+     */
+    SetAssocArray(std::size_t num_entries, std::size_t num_ways)
+        : ways_(num_ways), sets_(num_entries / num_ways),
+          entries_(num_entries)
+    {
+        HPE_ASSERT(num_ways > 0 && num_entries % num_ways == 0,
+                   "bad geometry: {} entries, {} ways", num_entries, num_ways);
+    }
+
+    std::size_t numWays() const { return ways_; }
+    std::size_t numSets() const { return sets_; }
+    std::size_t capacity() const { return entries_.size(); }
+
+    /** Find the resident entry for @p key, refreshing its LRU stamp. */
+    Entry *
+    find(std::uint64_t key)
+    {
+        Entry *e = probe(key);
+        if (e != nullptr)
+            e->lastUse = ++clock_;
+        return e;
+    }
+
+    /** Find without touching LRU state (for inspection/tests). */
+    Entry *
+    probe(std::uint64_t key)
+    {
+        const std::size_t base = setIndex(key) * ways_;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Entry &e = entries_[base + w];
+            if (e.valid && e.tag == key)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Insert @p key, evicting the LRU way of its set if the set is full.
+     *
+     * @param[out] victim if non-null and an eviction occurred, receives the
+     *                    displaced entry (tag + payload).
+     * @return the (reset) entry now holding @p key.
+     */
+    Entry &
+    insert(std::uint64_t key, Entry *victim = nullptr)
+    {
+        HPE_ASSERT(probe(key) == nullptr, "duplicate insert of tag {:#x}", key);
+        const std::size_t base = setIndex(key) * ways_;
+        Entry *slot = nullptr;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Entry &e = entries_[base + w];
+            if (!e.valid) {
+                slot = &e;
+                break;
+            }
+            if (slot == nullptr || e.lastUse < slot->lastUse)
+                slot = &e;
+        }
+        if (slot->valid && victim != nullptr)
+            *victim = *slot;
+        const bool evicted = slot->valid;
+        if (evicted)
+            ++conflictEvictions_;
+        *slot = Entry{};
+        slot->tag = key;
+        slot->valid = true;
+        slot->lastUse = ++clock_;
+        return *slot;
+    }
+
+    /** Remove the entry for @p key if resident. @return true if removed. */
+    bool
+    erase(std::uint64_t key)
+    {
+        Entry *e = probe(key);
+        if (e == nullptr)
+            return false;
+        *e = Entry{};
+        return true;
+    }
+
+    /** Invalidate every entry. */
+    void
+    clear()
+    {
+        for (Entry &e : entries_)
+            e = Entry{};
+    }
+
+    /** Visit every valid entry (iteration order is geometry order). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (Entry &e : entries_)
+            if (e.valid)
+                fn(e);
+    }
+
+    /** Count of valid entries (O(capacity); for stats and tests). */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t n = 0;
+        for (const Entry &e : entries_)
+            n += e.valid ? 1 : 0;
+        return n;
+    }
+
+    /** Number of insertions that displaced a valid entry. */
+    std::uint64_t conflictEvictions() const { return conflictEvictions_; }
+
+    /**
+     * Set index for @p key.  Power-of-two set counts (the common case:
+     * TLBs, HIR) use a mask; others (the 1.5 MB L2 with 12 channels'
+     * worth of sets) fall back to modulo.
+     */
+    std::size_t
+    setIndex(std::uint64_t key) const
+    {
+        if (std::has_single_bit(sets_))
+            return key & (sets_ - 1);
+        return key % sets_;
+    }
+
+  private:
+    std::size_t ways_;
+    std::size_t sets_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t conflictEvictions_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace hpe

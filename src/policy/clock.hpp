@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Plain CLOCK (second-chance) at page granularity — the classic LRU
+ * approximation the paper's related-work section discusses (§VI) as the
+ * base that NRU/WSClock/CAR/CLOCK-Pro improve on.  Included as an extra
+ * baseline beyond the paper's evaluated set.
+ */
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/intrusive_list.hpp"
+#include "common/types.hpp"
+#include "policy/eviction_policy.hpp"
+
+namespace hpe {
+
+/** Second-chance circular list with one reference bit per page. */
+class ClockPolicy : public EvictionPolicy
+{
+  public:
+    void
+    onHit(PageId page) override
+    {
+        auto it = nodes_.find(page);
+        if (it != nodes_.end())
+            it->second->ref = true;
+    }
+
+    void onFault(PageId) override {}
+
+    PageId
+    selectVictim() override
+    {
+        HPE_ASSERT(!ring_.empty(), "CLOCK victim request with no pages");
+        for (;;) {
+            if (hand_ == nullptr)
+                hand_ = &ring_.front();
+            Node &n = *hand_;
+            if (n.ref) {
+                // Second chance: clear and advance.
+                n.ref = false;
+                hand_ = ring_.next(n);
+                continue;
+            }
+            return n.page;
+        }
+    }
+
+    void
+    onEvict(PageId page) override
+    {
+        auto it = nodes_.find(page);
+        HPE_ASSERT(it != nodes_.end(), "evicting untracked page {:#x}", page);
+        if (hand_ == it->second.get())
+            hand_ = ring_.next(*it->second);
+        ring_.remove(*it->second);
+        nodes_.erase(it);
+    }
+
+    void
+    onMigrateIn(PageId page) override
+    {
+        auto node = std::make_unique<Node>();
+        node->page = page;
+        // Insert behind the hand (newest position on the clock face).
+        if (hand_ != nullptr)
+            ring_.insertBefore(*hand_, *node);
+        else
+            ring_.pushBack(*node);
+        nodes_.emplace(page, std::move(node));
+    }
+
+    std::string name() const override { return "CLOCK"; }
+
+  private:
+    struct Node : IntrusiveNode
+    {
+        PageId page = kInvalidId;
+        bool ref = false;
+    };
+
+    IntrusiveList<Node> ring_;
+    std::unordered_map<PageId, std::unique_ptr<Node>> nodes_;
+    Node *hand_ = nullptr;
+};
+
+} // namespace hpe

@@ -1,0 +1,230 @@
+#include "policy/clock_pro.hpp"
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+ClockProPolicy::ClockProPolicy(const ClockProConfig &cfg)
+    : cfg_(cfg)
+{
+    HPE_ASSERT(cfg.coldAllocation > 0, "cold allocation must be positive");
+}
+
+ClockProPolicy::~ClockProPolicy() = default;
+
+ClockProPolicy::Node *
+ClockProPolicy::clockNext(Node *hand)
+{
+    if (hand == nullptr)
+        return clock_.empty() ? nullptr : &clock_.front();
+    Node *n = clock_.next(*hand);
+    return n != nullptr ? n : (clock_.empty() ? nullptr : &clock_.front());
+}
+
+void
+ClockProPolicy::unlink(Node &node)
+{
+    // A hand parked on a removed node advances first so it never dangles.
+    for (Node **hand : {&handCold_, &handHot_, &handTest_}) {
+        if (*hand == &node) {
+            *hand = clock_.next(node);
+            // May still be null if node is the tail; clockNext() handles
+            // wrap-around lazily on the next use.
+        }
+    }
+    clock_.remove(node);
+}
+
+void
+ClockProPolicy::onHit(PageId page)
+{
+    auto it = nodes_.find(page);
+    if (it == nodes_.end())
+        return;
+    Node &n = *it->second;
+    HPE_ASSERT(n.state != State::ColdNonResident,
+               "walk hit on non-resident page {:#x}", page);
+    // References only set the bit; list movement happens at the hands.
+    n.ref = true;
+}
+
+void
+ClockProPolicy::onFault(PageId)
+{
+    // Promotion decisions are made at migrate-in, when the page's previous
+    // test-period metadata (if any) is still available.
+}
+
+void
+ClockProPolicy::runHandHot()
+{
+    // Demote the first hot page with a clear ref bit; clear bits and end
+    // cold test periods along the way (as the original HAND_hot does).
+    std::size_t guard = 2 * clock_.size() + 2;
+    while (numHot_ > 0 && guard-- > 0) {
+        handHot_ = clockNext(handHot_);
+        Node &n = *handHot_;
+        if (n.state == State::Hot) {
+            if (n.ref) {
+                n.ref = false;
+            } else {
+                n.state = State::ColdResident;
+                n.test = false;
+                --numHot_;
+                ++numColdRes_;
+                return;
+            }
+        } else if (n.state == State::ColdNonResident) {
+            Node *victim = handHot_;
+            handHot_ = clock_.prev(n); // advance past it on next call
+            unlink(*victim);
+            --numColdNonRes_;
+            nodes_.erase(victim->page);
+        } else {
+            // Resident cold page: passing HAND_hot terminates its test.
+            n.test = false;
+        }
+    }
+}
+
+void
+ClockProPolicy::runHandTest()
+{
+    std::size_t guard = clock_.size() + 1;
+    while ((numColdNonRes_ > 0 || numColdRes_ > 0) && guard-- > 0) {
+        handTest_ = clockNext(handTest_);
+        Node &n = *handTest_;
+        if (n.state == State::ColdNonResident) {
+            Node *victim = handTest_;
+            handTest_ = clock_.prev(n);
+            unlink(*victim);
+            --numColdNonRes_;
+            nodes_.erase(victim->page);
+            return;
+        }
+        if (n.state == State::ColdResident && n.test) {
+            n.test = false;
+            return;
+        }
+    }
+}
+
+PageId
+ClockProPolicy::selectVictim()
+{
+    HPE_ASSERT(numColdRes_ + numHot_ > 0, "CLOCK-Pro victim request with no pages");
+    // HAND_cold sweeps resident cold pages looking for an unreferenced one.
+    for (;;) {
+        if (numColdRes_ == 0) {
+            // All residents are hot; force a demotion so a victim exists.
+            runHandHot();
+            if (numColdRes_ == 0) {
+                // Pathological (e.g. every hot page referenced); sweep again.
+                continue;
+            }
+        }
+        handCold_ = clockNext(handCold_);
+        Node &n = *handCold_;
+        if (n.state != State::ColdResident)
+            continue;
+        if (n.ref) {
+            if (n.test) {
+                // Re-referenced within its test period: promote to hot.
+                n.ref = false;
+                n.test = false;
+                n.state = State::Hot;
+                --numColdRes_;
+                ++numHot_;
+                // Keep the resident cold allocation near m_c: a promotion
+                // that drops cold residency below target demotes a hot page
+                // (unless the whole population fits in the allocation).
+                if (numColdRes_ < cfg_.coldAllocation && numHot_ > 0
+                    && numHot_ + numColdRes_ > cfg_.coldAllocation)
+                    runHandHot();
+            } else {
+                // Referenced but past its test: recycle with a fresh test.
+                n.ref = false;
+                n.test = true;
+                Node *moved = handCold_;
+                handCold_ = clock_.prev(n);
+                clock_.remove(*moved);
+                clock_.pushBack(*moved);
+            }
+            continue;
+        }
+        // Unreferenced resident cold page: this is the victim.
+        return n.page;
+    }
+}
+
+void
+ClockProPolicy::onEvict(PageId page)
+{
+    auto it = nodes_.find(page);
+    HPE_ASSERT(it != nodes_.end(), "evicting untracked page {:#x}", page);
+    Node &n = *it->second;
+    HPE_ASSERT(n.state != State::ColdNonResident, "evicting non-resident page");
+    if (n.state == State::Hot) {
+        // Forced eviction of a hot page (driver override); drop it entirely.
+        --numHot_;
+        unlink(n);
+        nodes_.erase(it);
+        return;
+    }
+    --numColdRes_;
+    if (n.test) {
+        // Keep metadata: if the page faults back in during its test period
+        // it will be promoted to hot.
+        n.state = State::ColdNonResident;
+        ++numColdNonRes_;
+        while (numColdNonRes_ > cfg_.maxNonResident)
+            runHandTest();
+    } else {
+        unlink(n);
+        nodes_.erase(it);
+    }
+}
+
+void
+ClockProPolicy::onMigrateIn(PageId page)
+{
+    auto it = nodes_.find(page);
+    if (it != nodes_.end()) {
+        // Faulted back during its test period: promote straight to hot
+        // (its reuse distance beat a full cold-allocation sweep).
+        Node &n = *it->second;
+        HPE_ASSERT(n.state == State::ColdNonResident,
+                   "migrate-in of already-resident page {:#x}", page);
+        --numColdNonRes_;
+        // Move to the newest clock position as a hot page.
+        unlink(n);
+        clock_.pushBack(n);
+        n.state = State::Hot;
+        n.ref = false;
+        n.test = false;
+        ++numHot_;
+        // Rebalance only when the hot set crowds out the cold allocation
+        // (m_h = M - m_c); small populations keep their hot pages.
+        if (numColdRes_ < cfg_.coldAllocation
+            && numHot_ + numColdRes_ > cfg_.coldAllocation)
+            runHandHot();
+        return;
+    }
+    insertNew(page);
+}
+
+ClockProPolicy::Node &
+ClockProPolicy::insertNew(PageId page)
+{
+    auto node = std::make_unique<Node>();
+    node->page = page;
+    node->state = State::ColdResident;
+    node->test = true;
+    Node &ref = *node;
+    clock_.pushBack(ref);
+    nodes_.emplace(page, std::move(node));
+    ++numColdRes_;
+    return ref;
+}
+
+} // namespace hpe

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The eviction-policy interface shared by the functional paging simulator
+ * and the timing GPU simulator.
+ *
+ * The GPU driver invokes the policy on every page fault; reference (page
+ * walk hit) information arrives either in exact order (the paper's "ideal
+ * model", used for LRU/RRIP/CLOCK-Pro/MIN) or batched through the HIR cache
+ * (HPE's realistic channel).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace hpe {
+
+/**
+ * Abstract page eviction policy.
+ *
+ * Call protocol, enforced by the driver:
+ *  - onHit(p):       a page-walk hit on resident page p (ideal channel).
+ *  - onFault(p):     translation for p faulted; p is not resident.
+ *  - selectVictim(): GPU memory is full; return some resident page.
+ *  - onEvict(p):     p was unmapped and transferred to the host.
+ *  - onMigrateIn(p): p is now resident in GPU memory.
+ */
+class EvictionPolicy
+{
+  public:
+    virtual ~EvictionPolicy() = default;
+
+    /** A reference to resident page @p page was observed. */
+    virtual void onHit(PageId page) = 0;
+
+    /** A page fault on @p page was observed (before any eviction). */
+    virtual void onFault(PageId page) = 0;
+
+    /** Select a resident page to evict; memory is full. */
+    virtual PageId selectVictim() = 0;
+
+    /** @p page has been evicted from GPU memory. */
+    virtual void onEvict(PageId page) = 0;
+
+    /** @p page has been migrated into GPU memory. */
+    virtual void onMigrateIn(PageId page) = 0;
+
+    /** Human-readable policy name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace hpe

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * FIFO eviction — the simplest ordering baseline (and the running example
+ * of docs/adding-a-policy.md).  Evicts pages in arrival order regardless
+ * of references; exhibits Belady's anomaly, which LRU/MIN (stack
+ * algorithms) cannot.
+ */
+
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "policy/eviction_policy.hpp"
+
+namespace hpe {
+
+/** First-in first-out page eviction. */
+class FifoPolicy : public EvictionPolicy
+{
+  public:
+    void onHit(PageId) override {}
+    void onFault(PageId) override {}
+
+    PageId
+    selectVictim() override
+    {
+        HPE_ASSERT(!queue_.empty(), "FIFO victim request with no pages");
+        return queue_.front();
+    }
+
+    void
+    onEvict(PageId page) override
+    {
+        HPE_ASSERT(!queue_.empty() && queue_.front() == page,
+                   "FIFO eviction out of order for page {:#x}", page);
+        queue_.pop_front();
+        resident_.erase(page);
+    }
+
+    void
+    onMigrateIn(PageId page) override
+    {
+        const auto [it, inserted] = resident_.insert(page);
+        (void)it;
+        HPE_ASSERT(inserted, "double migrate-in of page {:#x}", page);
+        queue_.push_back(page);
+    }
+
+    std::string name() const override { return "FIFO"; }
+
+  private:
+    std::deque<PageId> queue_;
+    std::unordered_set<PageId> resident_;
+};
+
+} // namespace hpe

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * LFU — the representative frequency-based policy the paper cites (§VI)
+ * when arguing that frequency information alone is not enough for
+ * unified-memory eviction.  Included as an extra baseline.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "policy/eviction_policy.hpp"
+
+namespace hpe {
+
+/**
+ * Exact least-frequently-used with FIFO tie-breaking, O(log n) per
+ * operation via a (frequency, sequence) ordered index.
+ */
+class LfuPolicy : public EvictionPolicy
+{
+  public:
+    void
+    onHit(PageId page) override
+    {
+        auto it = pages_.find(page);
+        if (it == pages_.end())
+            return;
+        bump(it->second, page);
+    }
+
+    void onFault(PageId) override {}
+
+    PageId
+    selectVictim() override
+    {
+        HPE_ASSERT(!index_.empty(), "LFU victim request with no pages");
+        return index_.begin()->second;
+    }
+
+    void
+    onEvict(PageId page) override
+    {
+        auto it = pages_.find(page);
+        HPE_ASSERT(it != pages_.end(), "evicting untracked page {:#x}", page);
+        index_.erase(Key{it->second.frequency, it->second.sequence});
+        // Frequency survives eviction so a returning page keeps history.
+        it->second.resident = false;
+    }
+
+    void
+    onMigrateIn(PageId page) override
+    {
+        State &st = pages_[page];
+        HPE_ASSERT(!st.resident, "double migrate-in of page {:#x}", page);
+        st.resident = true;
+        ++st.frequency;
+        st.sequence = ++clock_;
+        index_.emplace(Key{st.frequency, st.sequence}, page);
+    }
+
+    std::string name() const override { return "LFU"; }
+
+    /** Frequency of @p page (0 if never seen); for tests. */
+    std::uint64_t
+    frequencyOf(PageId page) const
+    {
+        auto it = pages_.find(page);
+        return it == pages_.end() ? 0 : it->second.frequency;
+    }
+
+  private:
+    struct State
+    {
+        std::uint64_t frequency = 0;
+        std::uint64_t sequence = 0;
+        bool resident = false;
+    };
+
+    using Key = std::pair<std::uint64_t, std::uint64_t>;
+
+    void
+    bump(State &st, PageId page)
+    {
+        if (st.resident)
+            index_.erase(Key{st.frequency, st.sequence});
+        ++st.frequency;
+        st.sequence = ++clock_;
+        if (st.resident)
+            index_.emplace(Key{st.frequency, st.sequence}, page);
+    }
+
+    std::unordered_map<PageId, State> pages_;
+    std::map<Key, PageId> index_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace hpe

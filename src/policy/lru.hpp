@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Page-level LRU, the baseline policy of the paper.
+ *
+ * Per the paper's "ideal model", both page-walk hits and page faults update
+ * the recency chain in exact reference order with no transfer latency.
+ */
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/intrusive_list.hpp"
+#include "common/types.hpp"
+#include "policy/eviction_policy.hpp"
+
+namespace hpe {
+
+/** Exact page-granularity LRU chain. */
+class LruPolicy : public EvictionPolicy
+{
+  public:
+    void
+    onHit(PageId page) override
+    {
+        auto it = nodes_.find(page);
+        if (it != nodes_.end())
+            chain_.moveToBack(*it->second);
+    }
+
+    void onFault(PageId) override {}
+
+    PageId
+    selectVictim() override
+    {
+        HPE_ASSERT(!chain_.empty(), "LRU victim request with no resident pages");
+        return chain_.front().page;
+    }
+
+    void
+    onEvict(PageId page) override
+    {
+        auto it = nodes_.find(page);
+        HPE_ASSERT(it != nodes_.end(), "evicting untracked page {:#x}", page);
+        chain_.remove(*it->second);
+        nodes_.erase(it);
+    }
+
+    void
+    onMigrateIn(PageId page) override
+    {
+        auto node = std::make_unique<Node>();
+        node->page = page;
+        chain_.pushBack(*node);
+        nodes_.emplace(page, std::move(node));
+    }
+
+    std::string name() const override { return "LRU"; }
+
+    /** Number of tracked resident pages (for tests). */
+    std::size_t size() const { return nodes_.size(); }
+
+  private:
+    struct Node : IntrusiveNode
+    {
+        PageId page = kInvalidId;
+    };
+
+    IntrusiveList<Node> chain_;
+    std::unordered_map<PageId, std::unique_ptr<Node>> nodes_;
+};
+
+} // namespace hpe

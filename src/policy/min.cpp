@@ -1,0 +1,80 @@
+#include "policy/min.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+MinPolicy::MinPolicy(TracePtr trace)
+    : trace_(std::move(trace))
+{
+    HPE_ASSERT(trace_ != nullptr, "MIN requires a canonical trace");
+    for (std::uint64_t i = 0; i < trace_->size(); ++i)
+        positions_[(*trace_)[i]].push_back(i);
+}
+
+void
+MinPolicy::observe(PageId page)
+{
+    // Per-page consumption: the k-th observation of a page corresponds to
+    // its k-th canonical reference, so its next use is position k+1.
+    // Per-page pointers are immune to the cross-page reordering of the
+    // timing simulator, and the driver guarantees every visit reaches the
+    // policy exactly once (merged faults arrive as hits after wakeup), so
+    // the pointers stay synchronized; in the functional simulator this is
+    // exact Belady MIN.
+    PageState &st = pages_[page];
+    auto pit = positions_.find(page);
+    if (pit == positions_.end()) {
+        st.nextUse = kNever;
+        return;
+    }
+    const auto &pos = pit->second;
+    const std::uint64_t seen = st.refsSeen < pos.size() ? st.refsSeen : pos.size() - 1;
+    ++st.refsSeen;
+    st.nextUse = seen + 1 < pos.size() ? pos[seen + 1] : kNever;
+}
+
+PageId
+MinPolicy::selectVictim()
+{
+    HPE_ASSERT(!resident_.empty(), "MIN victim request with no resident pages");
+    PageId best = kInvalidId;
+    std::uint64_t best_use = 0;
+    for (PageId page : resident_) {
+        PageState &st = pages_[page];
+        if (st.nextUse == kNever)
+            return page; // never used again: unbeatable victim
+        if (best == kInvalidId || st.nextUse > best_use) {
+            best = page;
+            best_use = st.nextUse;
+        }
+    }
+    return best;
+}
+
+void
+MinPolicy::onEvict(PageId page)
+{
+    auto it = residentIndex_.find(page);
+    HPE_ASSERT(it != residentIndex_.end(), "evicting untracked page {:#x}", page);
+    pages_[page].resident = false;
+    const std::size_t pos = it->second;
+    resident_[pos] = resident_.back();
+    residentIndex_[resident_[pos]] = pos;
+    resident_.pop_back();
+    residentIndex_.erase(page);
+}
+
+void
+MinPolicy::onMigrateIn(PageId page)
+{
+    PageState &st = pages_[page];
+    HPE_ASSERT(!st.resident, "double migrate-in of page {:#x}", page);
+    st.resident = true;
+    residentIndex_.emplace(page, resident_.size());
+    resident_.push_back(page);
+}
+
+} // namespace hpe

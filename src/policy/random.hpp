@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Uniform-random eviction, the policy Zheng et al. found competitive with
+ * LRU for many workloads (and which the paper compares against in Fig. 12).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "policy/eviction_policy.hpp"
+
+namespace hpe {
+
+/** Evicts a uniformly random resident page; O(1) per operation. */
+class RandomPolicy : public EvictionPolicy
+{
+  public:
+    /** @param seed RNG seed; fixed per experiment for reproducibility. */
+    explicit RandomPolicy(std::uint64_t seed = 1) : rng_(seed) {}
+
+    void onHit(PageId) override {}
+    void onFault(PageId) override {}
+
+    PageId
+    selectVictim() override
+    {
+        HPE_ASSERT(!pages_.empty(), "Random victim request with no resident pages");
+        return pages_[rng_.below(pages_.size())];
+    }
+
+    void
+    onEvict(PageId page) override
+    {
+        auto it = index_.find(page);
+        HPE_ASSERT(it != index_.end(), "evicting untracked page {:#x}", page);
+        // Swap-remove to keep the resident vector dense.
+        const std::size_t pos = it->second;
+        pages_[pos] = pages_.back();
+        index_[pages_[pos]] = pos;
+        pages_.pop_back();
+        index_.erase(page);
+    }
+
+    void
+    onMigrateIn(PageId page) override
+    {
+        index_.emplace(page, pages_.size());
+        pages_.push_back(page);
+    }
+
+    std::string name() const override { return "Random"; }
+
+  private:
+    Rng rng_;
+    std::vector<PageId> pages_;
+    std::unordered_map<PageId, std::size_t> index_;
+};
+
+} // namespace hpe

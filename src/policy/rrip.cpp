@@ -1,0 +1,85 @@
+#include "policy/rrip.hpp"
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+RripPolicy::RripPolicy(const RripConfig &cfg)
+    : cfg_(cfg)
+{
+    HPE_ASSERT(cfg.rrpvBits >= 1 && cfg.rrpvBits <= 8,
+               "unreasonable RRPV width {}", cfg.rrpvBits);
+}
+
+void
+RripPolicy::onHit(PageId page)
+{
+    auto it = nodes_.find(page);
+    if (it == nodes_.end())
+        return;
+    // Frequency priority: each re-reference steps the prediction nearer.
+    Node &n = *it->second;
+    if (n.rrpv > 0)
+        --n.rrpv;
+}
+
+void
+RripPolicy::onFault(PageId)
+{
+    ++faultNumber_;
+}
+
+PageId
+RripPolicy::selectVictim()
+{
+    HPE_ASSERT(!ring_.empty(), "RRIP victim request with no resident pages");
+    const unsigned max = maxRrpv();
+    for (;;) {
+        // Pass 1: oldest-first scan for a distant page outside its delay
+        // window.
+        bool any_below_max = false;
+        for (Node &n : ring_) {
+            if (n.rrpv < max) {
+                any_below_max = true;
+                continue;
+            }
+            if (faultNumber_ - n.delay >= cfg_.delayThreshold)
+                return n.page;
+        }
+        if (!any_below_max)
+            break; // aging cannot make progress
+        // Age every page and rescan, as in the original SRRIP victim loop.
+        for (Node &n : ring_)
+            if (n.rrpv < max)
+                ++n.rrpv;
+    }
+    // Every RRPV is distant but all pages are inside the delay window:
+    // take the widest margin (oldest insertion).
+    Node *best = nullptr;
+    for (Node &n : ring_)
+        if (best == nullptr || n.delay < best->delay)
+            best = &n;
+    return best->page;
+}
+
+void
+RripPolicy::onEvict(PageId page)
+{
+    auto it = nodes_.find(page);
+    HPE_ASSERT(it != nodes_.end(), "evicting untracked page {:#x}", page);
+    ring_.remove(*it->second);
+    nodes_.erase(it);
+}
+
+void
+RripPolicy::onMigrateIn(PageId page)
+{
+    auto node = std::make_unique<Node>();
+    node->page = page;
+    node->rrpv = cfg_.distantInsertion ? maxRrpv() : maxRrpv() - 1;
+    node->delay = faultNumber_;
+    ring_.pushBack(*node);
+    nodes_.emplace(page, std::move(node));
+}
+
+} // namespace hpe

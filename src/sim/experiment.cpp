@@ -1,0 +1,53 @@
+#include "sim/experiment.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+std::size_t
+framesFor(const Trace &trace, double oversub)
+{
+    HPE_ASSERT(oversub > 0.0 && oversub <= 1.0, "bad oversubscription rate {}", oversub);
+    const auto fp = static_cast<double>(trace.footprintPages());
+    const auto frames = static_cast<std::size_t>(std::ceil(fp * oversub));
+    return frames > 0 ? frames : 1;
+}
+
+InspectableRun
+runFunctionalInspect(const Trace &trace, PolicyKind kind, const RunConfig &cfg)
+{
+    InspectableRun run;
+    run.stats = std::make_unique<StatRegistry>();
+    run.policy = makePolicy(kind, trace, *run.stats, cfg.hpe, cfg.seed);
+    run.paging = runPaging(trace, *run.policy, framesFor(trace, cfg.oversub),
+                           *run.stats);
+    return run;
+}
+
+InspectableRun
+runTimingInspect(const Trace &trace, PolicyKind kind, const RunConfig &cfg)
+{
+    InspectableRun run;
+    run.stats = std::make_unique<StatRegistry>();
+    run.policy = makePolicy(kind, trace, *run.stats, cfg.hpe, cfg.seed);
+    GpuSystem gpu(cfg.gpu, trace, *run.policy, framesFor(trace, cfg.oversub),
+                  *run.stats, run.hpe());
+    run.timing = gpu.run();
+    return run;
+}
+
+PagingResult
+runFunctional(const Trace &trace, PolicyKind kind, const RunConfig &cfg)
+{
+    return runFunctionalInspect(trace, kind, cfg).paging;
+}
+
+TimingResult
+runTiming(const Trace &trace, PolicyKind kind, const RunConfig &cfg)
+{
+    return runTimingInspect(trace, kind, cfg).timing;
+}
+
+} // namespace hpe

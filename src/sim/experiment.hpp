@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Experiment runners shared by the benchmark harness, the examples, and
+ * the integration tests: one call = one (workload, policy, configuration)
+ * simulation, functional or timing.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/stats.hpp"
+#include "core/hpe_config.hpp"
+#include "gpu/gpu_system.hpp"
+#include "sim/paging_simulator.hpp"
+#include "sim/policy_factory.hpp"
+#include "workload/trace.hpp"
+
+namespace hpe {
+
+/** Everything one experiment run depends on. */
+struct RunConfig
+{
+    /** Fraction of the application footprint that fits in GPU memory
+     *  (the paper's "oversubscription rate": 0.75 or 0.50). */
+    double oversub = 0.75;
+    HpeConfig hpe{};
+    GpuConfig gpu{};
+    std::uint64_t seed = 1;
+};
+
+/** GPU memory capacity in frames for @p trace at @p oversub. */
+std::size_t framesFor(const Trace &trace, double oversub);
+
+/** Functional run: exact fault/eviction counts. */
+PagingResult runFunctional(const Trace &trace, PolicyKind kind,
+                           const RunConfig &cfg);
+
+/** Timing run: IPC and host load. */
+TimingResult runTiming(const Trace &trace, PolicyKind kind, const RunConfig &cfg);
+
+/**
+ * A run that keeps its policy and stats alive for introspection — used by
+ * the benches that read HPE's classification, adjustment timeline, search
+ * overhead, and HIR statistics.
+ */
+struct InspectableRun
+{
+    std::unique_ptr<StatRegistry> stats;
+    std::unique_ptr<EvictionPolicy> policy;
+    PagingResult paging;   ///< valid for functional runs
+    TimingResult timing;   ///< valid for timing runs
+
+    /** The policy as HPE, or null if another kind ran. */
+    HpePolicy *hpe() const { return dynamic_cast<HpePolicy *>(policy.get()); }
+};
+
+/** Functional run retaining policy + stats. */
+InspectableRun runFunctionalInspect(const Trace &trace, PolicyKind kind,
+                                    const RunConfig &cfg);
+
+/** Timing run retaining policy + stats. */
+InspectableRun runTimingInspect(const Trace &trace, PolicyKind kind,
+                                const RunConfig &cfg);
+
+} // namespace hpe

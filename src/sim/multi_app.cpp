@@ -1,0 +1,102 @@
+#include "sim/multi_app.hpp"
+
+#include "common/log.hpp"
+#include "driver/uvm_manager.hpp"
+#include "sim/paging_simulator.hpp"
+#include "sim/policy_factory.hpp"
+
+namespace hpe {
+
+namespace {
+
+/** High-bit address-space slice per application. */
+constexpr unsigned kSliceShift = 40;
+
+PageId
+slicedPage(std::size_t app, PageId page)
+{
+    return (static_cast<PageId>(app) << kSliceShift) | page;
+}
+
+std::size_t
+appOf(PageId page)
+{
+    return static_cast<std::size_t>(page >> kSliceShift);
+}
+
+/**
+ * Weighted round-robin merge: at every step the app with the least
+ * fractional progress issues its next visit, so all traces finish
+ * together regardless of length.
+ */
+Trace
+mergeTraces(const std::vector<Trace> &traces)
+{
+    Trace merged("MIX", "multi-app mix", "shared", traces.front().pattern());
+    std::vector<std::size_t> cursor(traces.size(), 0);
+    for (;;) {
+        std::size_t best = traces.size();
+        double best_progress = 2.0;
+        for (std::size_t a = 0; a < traces.size(); ++a) {
+            if (cursor[a] >= traces[a].size())
+                continue;
+            const double progress = static_cast<double>(cursor[a])
+                / static_cast<double>(traces[a].size());
+            if (progress < best_progress) {
+                best_progress = progress;
+                best = a;
+            }
+        }
+        if (best == traces.size())
+            break;
+        const PageRef &ref = traces[best].refs()[cursor[best]++];
+        merged.add(slicedPage(best, ref.page), ref.burst, ref.write);
+    }
+    return merged;
+}
+
+} // namespace
+
+MultiAppResult
+runShared(const std::vector<Trace> &traces, PolicyKind kind,
+          std::size_t frames, const HpeConfig &hpeCfg)
+{
+    HPE_ASSERT(!traces.empty(), "runShared needs at least one trace");
+    HPE_ASSERT(traces.size() < (std::size_t{1} << 8), "too many apps");
+
+    const Trace merged = mergeTraces(traces);
+
+    MultiAppResult result;
+    result.apps.resize(traces.size());
+    for (std::size_t a = 0; a < traces.size(); ++a)
+        result.apps[a].abbr = traces[a].abbr();
+
+    // Shared run with per-app fault attribution.
+    {
+        StatRegistry stats;
+        auto policy = makePolicy(kind, merged, stats, hpeCfg);
+        UvmMemoryManager uvm(frames, *policy, stats, "uvm");
+        for (const PageRef &ref : merged.refs()) {
+            AppShareResult &app = result.apps[appOf(ref.page)];
+            ++app.references;
+            if (uvm.resident(ref.page)) {
+                uvm.recordHit(ref.page);
+            } else {
+                uvm.handleFault(ref.page);
+                ++app.faults;
+            }
+        }
+        result.totalFaults = uvm.faults();
+    }
+
+    // Solo baselines: each app alone in the same total memory.
+    for (std::size_t a = 0; a < traces.size(); ++a) {
+        StatRegistry stats;
+        auto policy = makePolicy(kind, traces[a], stats, hpeCfg);
+        result.apps[a].soloFaults =
+            runPaging(traces[a], *policy, frames, stats).faults;
+    }
+    return result;
+}
+
+} // namespace hpe

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Multi-application sharing study (functional).
+ *
+ * The paper's related work covers MASK [21], which redesigns the memory
+ * hierarchy for concurrent GPU applications; eviction policies interact
+ * with sharing because one app's faults can evict another's working set.
+ * This driver co-runs N workloads against ONE shared GPU memory and one
+ * policy instance: their canonical traces interleave round-robin
+ * (weighted by trace length so all finish together), each app's pages are
+ * isolated in its own address-space slice, and per-app fault counts
+ * expose both slowdown and fairness.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/hpe_config.hpp"
+#include "sim/policy_factory.hpp"
+#include "workload/trace.hpp"
+
+namespace hpe {
+
+/** Per-application outcome of a shared run. */
+struct AppShareResult
+{
+    std::string abbr;
+    std::uint64_t references = 0;
+    std::uint64_t faults = 0;
+    /** Faults when running alone in the same total memory. */
+    std::uint64_t soloFaults = 0;
+
+    /** Fault inflation caused by sharing (>= ~1). */
+    double
+    slowdown() const
+    {
+        return soloFaults == 0 ? 1.0
+                               : static_cast<double>(faults)
+                                   / static_cast<double>(soloFaults);
+    }
+};
+
+/** Outcome of one multi-app run. */
+struct MultiAppResult
+{
+    std::vector<AppShareResult> apps;
+    std::uint64_t totalFaults = 0;
+
+    /**
+     * Fairness of the sharing (min slowdown / max slowdown, 1 = perfectly
+     * fair), the metric style MASK reports.
+     */
+    double
+    fairness() const
+    {
+        double lo = 1e300, hi = 0;
+        for (const AppShareResult &a : apps) {
+            lo = std::min(lo, a.slowdown());
+            hi = std::max(hi, a.slowdown());
+        }
+        return apps.empty() || hi == 0 ? 1.0 : lo / hi;
+    }
+};
+
+/**
+ * Co-run @p traces against one shared memory of @p frames pages under the
+ * policy @p kind (constructed per run; MIN receives the interleaved
+ * canonical trace, so it stays the offline upper bound).
+ *
+ * @param traces  the workloads; each gets a disjoint address-space slice.
+ * @param kind    eviction policy for the shared memory.
+ * @param frames  shared GPU memory capacity in pages.
+ * @param hpeCfg  configuration when kind == Hpe.
+ */
+MultiAppResult runShared(const std::vector<Trace> &traces, PolicyKind kind,
+                         std::size_t frames, const HpeConfig &hpeCfg = {});
+
+} // namespace hpe

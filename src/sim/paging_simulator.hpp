@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Functional paging simulator.
+ *
+ * Consumes a workload's canonical page-reference trace in order, feeding
+ * every reference to the memory manager (and thus the eviction policy).
+ * There is no timing: this driver produces *exact* fault and eviction
+ * counts, which is what the eviction-count figures (3, 11, 12b) compare,
+ * and it is the mode in which Belady MIN is provably optimal.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "driver/uvm_manager.hpp"
+#include "policy/eviction_policy.hpp"
+#include "workload/trace.hpp"
+
+namespace hpe {
+
+/** Counts from one functional run. */
+struct PagingResult
+{
+    std::uint64_t references = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+
+    double
+    faultRate() const
+    {
+        return references == 0
+                   ? 0.0
+                   : static_cast<double>(faults) / static_cast<double>(references);
+    }
+};
+
+/**
+ * Run @p trace against @p policy with @p frames pages of GPU memory.
+ *
+ * @param trace  the workload.
+ * @param policy eviction policy under study.
+ * @param frames GPU memory capacity in pages (oversubscription control).
+ * @param stats  registry for the run's counters.
+ */
+inline PagingResult
+runPaging(const Trace &trace, EvictionPolicy &policy, std::size_t frames,
+          StatRegistry &stats)
+{
+    UvmMemoryManager uvm(frames, policy, stats, "uvm");
+    PagingResult result;
+    for (const PageRef &ref : trace.refs()) {
+        ++result.references;
+        if (uvm.resident(ref.page))
+            uvm.recordHit(ref.page);
+        else
+            uvm.handleFault(ref.page);
+        if (ref.write)
+            uvm.markDirty(ref.page);
+    }
+    result.hits = uvm.hits();
+    result.faults = uvm.faults();
+    result.evictions = uvm.evictions();
+    result.dirtyEvictions = uvm.dirtyEvictions();
+    return result;
+}
+
+} // namespace hpe

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Factory producing the policies the paper evaluates, configured per
+ * workload the way §V-B describes (RRIP's per-pattern insertion/threshold,
+ * MIN's future trace, HPE's full configuration).
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/hpe_config.hpp"
+#include "policy/eviction_policy.hpp"
+#include "workload/trace.hpp"
+
+namespace hpe {
+
+/**
+ * The policies of §V, plus extra baselines from the paper's related
+ * work discussion (plain CLOCK, LFU, FIFO, and a DIP adaptation, §VI).
+ */
+enum class PolicyKind { Lru, Random, Rrip, ClockPro, Ideal, Hpe, Clock, Lfu, Fifo, Dip };
+
+/** Printable policy-kind name. */
+const char *policyKindName(PolicyKind kind);
+
+/** The six kinds the paper evaluates, in its comparison order. */
+const std::vector<PolicyKind> &allPolicyKinds();
+
+/** Every kind including the extra related-work baselines. */
+const std::vector<PolicyKind> &extendedPolicyKinds();
+
+/**
+ * Build a policy instance for @p trace.
+ *
+ * @param kind   which policy.
+ * @param trace  the workload (RRIP reads its declared pattern type; MIN
+ *               takes its canonical future trace).
+ * @param stats  registry the policy's stats land in.
+ * @param hpeCfg configuration used when kind == Hpe.
+ * @param seed   RNG seed for the Random policy.
+ */
+std::unique_ptr<EvictionPolicy>
+makePolicy(PolicyKind kind, const Trace &trace, StatRegistry &stats,
+           const HpeConfig &hpeCfg = {}, std::uint64_t seed = 1);
+
+} // namespace hpe

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The 23 selected applications of Table II, modelled as parameterized
+ * synthetic page-reference generators.
+ *
+ * We do not have the authors' GPGPU-Sim traces, so each application is a
+ * generator that reproduces the properties the paper attributes to it:
+ * its access-pattern type (Table II), its counter regularity (Fig. 9),
+ * and its called-out quirks (NW even/odd phases, MVT stride-4, GEM's
+ * LRU-averse reuse, the BFS thrashing sub-phase, ...).  Footprints are
+ * scaled down from the paper's 3-130 MB so the whole harness runs in
+ * minutes; the `scale` factor multiplies every footprint.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace hpe {
+
+/** Static description of one application model. */
+struct AppSpec
+{
+    const char *abbr;   ///< paper abbreviation, e.g. "HSD"
+    const char *name;   ///< full application name, e.g. "hotspot3D"
+    const char *suite;  ///< benchmark suite
+    PatternType type;   ///< Table II access-pattern type
+    std::size_t basePages; ///< footprint in pages at scale 1.0
+};
+
+/** All 23 applications in Table II order. */
+const std::vector<AppSpec> &appSpecs();
+
+/**
+ * Extra application models beyond Table II: a sample of the workloads the
+ * paper elided for footprint or simulation-time reasons (§III), included
+ * so the library covers them.  Not part of the paper-reproduction benches.
+ */
+const std::vector<AppSpec> &extraAppSpecs();
+
+/** Lookup by abbreviation; fatal() on unknown names. */
+const AppSpec &appSpec(const std::string &abbr);
+
+/**
+ * Build the reference trace of application @p abbr.
+ *
+ * @param abbr  paper abbreviation from appSpecs().
+ * @param scale footprint multiplier (1.0 = the default scaled footprint).
+ * @param seed  RNG seed; equal seeds give bit-identical traces.
+ */
+Trace buildApp(const std::string &abbr, double scale = 1.0,
+               std::uint64_t seed = 42);
+
+} // namespace hpe

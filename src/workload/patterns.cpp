@@ -1,0 +1,167 @@
+#include "workload/patterns.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/log.hpp"
+
+namespace hpe::patterns {
+
+void
+stream(Trace &t, PageId base, std::size_t pages, unsigned refs, std::uint16_t burst)
+{
+    for (std::size_t p = 0; p < pages; ++p)
+        for (unsigned r = 0; r < refs; ++r)
+            t.add(base + p, burst);
+}
+
+void
+thrash(Trace &t, PageId base, std::size_t pages, unsigned passes,
+       unsigned refs_per_pass, std::uint16_t burst)
+{
+    for (unsigned pass = 0; pass < passes; ++pass) {
+        t.beginKernel();
+        stream(t, base, pages, refs_per_pass, burst);
+    }
+}
+
+void
+partRepetitiveBlocks(Trace &t, PageId base, std::size_t pages,
+                     std::size_t block_pages, double p, unsigned extra_passes,
+                     Rng &rng, std::uint16_t burst)
+{
+    HPE_ASSERT(block_pages > 0, "zero block size");
+    for (std::size_t b = 0; b < pages; b += block_pages) {
+        const std::size_t n = std::min(block_pages, pages - b);
+        stream(t, base + b, n, 1, burst);
+        if (rng.chance(p))
+            for (unsigned e = 0; e < extra_passes; ++e)
+                stream(t, base + b, n, 1, burst);
+    }
+}
+
+void
+partRepetitivePages(Trace &t, PageId base, std::size_t pages, double p,
+                    unsigned max_extra, std::size_t window, Rng &rng,
+                    std::uint16_t burst)
+{
+    HPE_ASSERT(window > 0, "zero lookahead window");
+    // Pending re-visits are delayed by a random slot inside the lookahead
+    // window so re-references of different pages intersect (§III-A).
+    std::deque<std::vector<PageId>> pending(window + 1);
+    auto drain_front = [&] {
+        for (PageId page : pending.front())
+            t.add(page, burst);
+        pending.pop_front();
+        pending.emplace_back();
+    };
+
+    for (std::size_t i = 0; i < pages; ++i) {
+        const PageId page = base + i;
+        t.add(page, burst);
+        if (rng.chance(p)) {
+            const unsigned extra =
+                1 + static_cast<unsigned>(rng.below(max_extra > 0 ? max_extra : 1));
+            for (unsigned e = 0; e < extra; ++e)
+                pending[rng.below(window) + 1].push_back(page);
+        }
+        drain_front();
+    }
+    // Flush whatever is still queued.
+    while (!pending.empty()) {
+        for (PageId page : pending.front())
+            t.add(page, burst);
+        pending.pop_front();
+    }
+}
+
+void
+stridedSweep(Trace &t, PageId base, std::size_t pages, std::size_t stride,
+             unsigned passes, unsigned refs, std::uint16_t burst)
+{
+    HPE_ASSERT(stride > 0, "zero stride");
+    for (unsigned pass = 0; pass < passes; ++pass) {
+        t.beginKernel();
+        for (std::size_t p = 0; p < pages; p += stride)
+            for (unsigned r = 0; r < refs; ++r)
+                t.add(base + p, burst);
+    }
+}
+
+void
+evenOddPhases(Trace &t, PageId base, std::size_t pages, unsigned refs,
+              unsigned phase_repeats, std::uint16_t burst)
+{
+    for (unsigned rep = 0; rep < phase_repeats; ++rep) {
+        for (std::size_t parity = 0; parity < 2; ++parity) {
+            t.beginKernel(); // each parity phase is its own kernel launch
+            for (std::size_t p = parity; p < pages; p += 2)
+                for (unsigned r = 0; r < refs; ++r)
+                    t.add(base + p, burst);
+        }
+    }
+}
+
+void
+regionMoving(Trace &t, PageId base, std::size_t pages, std::size_t regions,
+             unsigned passes, unsigned refs_per_pass, std::uint16_t burst)
+{
+    HPE_ASSERT(regions > 0, "zero regions");
+    const std::size_t region_pages = (pages + regions - 1) / regions;
+    for (std::size_t r = 0; r < regions; ++r) {
+        const std::size_t start = r * region_pages;
+        if (start >= pages)
+            break;
+        const std::size_t n = std::min(region_pages, pages - start);
+        thrash(t, base + start, n, passes, refs_per_pass, burst);
+    }
+}
+
+void
+frontierLevels(Trace &t, PageId base, std::size_t pages, unsigned levels,
+               double frontier_frac, Rng &rng, std::uint16_t burst)
+{
+    const std::size_t cluster = 32;
+    const auto frontier_pages =
+        static_cast<std::size_t>(frontier_frac * static_cast<double>(pages));
+    for (unsigned lvl = 0; lvl < levels; ++lvl) {
+        t.beginKernel(); // one kernel launch per BFS level
+        std::size_t visited = 0;
+        while (visited < frontier_pages) {
+            const std::size_t start = rng.below(pages);
+            const std::size_t n = std::min(cluster, pages - start);
+            for (std::size_t p = 0; p < n; ++p) {
+                const auto visits = 1 + static_cast<unsigned>(rng.below(3));
+                for (unsigned v = 0; v < visits; ++v)
+                    t.add(base + start + p, burst);
+            }
+            visited += n;
+        }
+    }
+}
+
+void
+skewedRandom(Trace &t, PageId base, std::size_t pages, std::size_t total,
+             double hot_frac, double hot_share, Rng &rng, std::uint16_t burst)
+{
+    const auto hot_pages =
+        std::max<std::size_t>(1, static_cast<std::size_t>(hot_frac * pages));
+    for (std::size_t i = 0; i < total; ++i) {
+        PageId page;
+        if (rng.chance(hot_share) || hot_pages >= pages)
+            page = base + rng.below(hot_pages); // hot head of the range
+        else
+            page = base + hot_pages + rng.below(pages - hot_pages);
+        t.add(page, burst);
+    }
+}
+
+void
+markWrites(Trace &t, double fraction, Rng &rng)
+{
+    for (std::size_t i = 0; i < t.size(); ++i)
+        if (rng.chance(fraction))
+            t.setWrite(i, true);
+}
+
+} // namespace hpe::patterns

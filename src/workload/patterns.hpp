@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Low-level access-pattern builders for the six pattern types of Fig. 2.
+ *
+ * Two reuse granularities matter for HPE's classification (§IV-D):
+ *
+ *  - *block-uniform* builders reference every page of a 16-page block the
+ *    same number of times, producing page-set counters divisible by the
+ *    page-set size ("regular" counters);
+ *  - *page-granular* builders vary the per-page count, producing
+ *    "irregular" counters.
+ *
+ * All builders are deterministic given the Rng they are handed.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "workload/trace.hpp"
+
+namespace hpe::patterns {
+
+/** Sequentially reference pages [base, base+pages), @p refs visits each. */
+void stream(Trace &t, PageId base, std::size_t pages, unsigned refs = 1,
+            std::uint16_t burst = 8);
+
+/** @p passes sequential sweeps over [base, base+pages) — type II. */
+void thrash(Trace &t, PageId base, std::size_t pages, unsigned passes,
+            unsigned refs_per_pass = 1, std::uint16_t burst = 8);
+
+/**
+ * Streaming pass where each aligned @p block_pages block is revisited
+ * (@p extra_passes more times) with probability @p p — type III with
+ * regular counters.
+ */
+void partRepetitiveBlocks(Trace &t, PageId base, std::size_t pages,
+                          std::size_t block_pages, double p,
+                          unsigned extra_passes, Rng &rng,
+                          std::uint16_t burst = 8);
+
+/**
+ * Streaming pass where each *page* independently receives a random number
+ * of additional visits in [0, max_extra], shuffled into a small lookahead
+ * window — type III/IV with irregular counters.
+ */
+void partRepetitivePages(Trace &t, PageId base, std::size_t pages,
+                         double p, unsigned max_extra, std::size_t window,
+                         Rng &rng, std::uint16_t burst = 8);
+
+/**
+ * Strided sweep: pages base, base+stride, base+2*stride, ... each visited
+ * @p refs times; @p passes sweeps (the MVT stride-4 behaviour).
+ */
+void stridedSweep(Trace &t, PageId base, std::size_t pages, std::size_t stride,
+                  unsigned passes, unsigned refs, std::uint16_t burst = 8);
+
+/**
+ * Phased parity access (the NW behaviour): @p refs visits to every even
+ * page of the range, then @p refs visits to every odd page.
+ */
+void evenOddPhases(Trace &t, PageId base, std::size_t pages, unsigned refs,
+                   unsigned phase_repeats, std::uint16_t burst = 8);
+
+/**
+ * Region-moving access — type VI: split the range into @p regions equal
+ * regions; reference each region @p passes times before moving on.
+ */
+void regionMoving(Trace &t, PageId base, std::size_t pages, std::size_t regions,
+                  unsigned passes, unsigned refs_per_pass,
+                  std::uint16_t burst = 8);
+
+/**
+ * Frontier expansion (the BFS behaviour): per level, visit a random
+ * contiguous cluster set covering roughly @p frontier_frac of the range
+ * with 1..3 visits per page.
+ */
+void frontierLevels(Trace &t, PageId base, std::size_t pages, unsigned levels,
+                    double frontier_frac, Rng &rng, std::uint16_t burst = 8);
+
+/**
+ * Skewed random visits (the HIS behaviour): @p total visits over the
+ * range where a @p hot_frac fraction of pages receives @p hot_share of
+ * the visits.
+ */
+void skewedRandom(Trace &t, PageId base, std::size_t pages, std::size_t total,
+                  double hot_frac, double hot_share, Rng &rng,
+                  std::uint16_t burst = 8);
+
+/**
+ * Mark a @p fraction of the trace's visits as writes (deterministically,
+ * from @p rng).  Writes do not change eviction decisions; they make the
+ * evicted page dirty, adding a PCIe writeback in the timing model.
+ */
+void markWrites(Trace &t, double fraction, Rng &rng);
+
+} // namespace hpe::patterns

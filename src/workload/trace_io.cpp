@@ -1,0 +1,104 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+namespace {
+
+PatternType
+parsePattern(const std::string &s)
+{
+    for (PatternType t : {PatternType::I, PatternType::II, PatternType::III,
+                          PatternType::IV, PatternType::V, PatternType::VI})
+        if (s == patternName(t))
+            return t;
+    fatal("bad pattern type '{}' in trace", s);
+}
+
+} // namespace
+
+void
+saveTrace(const Trace &trace, std::ostream &os)
+{
+    os << "trace " << trace.abbr() << " " << trace.application() << " "
+       << trace.suite() << " " << patternName(trace.pattern()) << "\n";
+    std::size_t kernel = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        while (kernel < trace.kernelCount()
+               && trace.kernelRange(kernel).first == i) {
+            os << "k\n";
+            ++kernel;
+        }
+        const PageRef &ref = trace.refs()[i];
+        os << std::hex << ref.page << std::dec << " " << ref.burst
+           << (ref.write ? " w" : "") << "\n";
+    }
+}
+
+void
+saveTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '{}' for writing", path);
+    saveTrace(trace, os);
+    if (!os.good())
+        fatal("write error on '{}'", path);
+}
+
+Trace
+loadTrace(std::istream &is)
+{
+    std::string line;
+    std::string abbr, app, suite, pattern;
+
+    // Header (skipping comments/blank lines).
+    for (;;) {
+        if (!std::getline(is, line))
+            fatal("trace stream ended before the header");
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream header(line);
+        std::string tag;
+        header >> tag >> abbr >> app >> suite >> pattern;
+        if (tag != "trace" || pattern.empty())
+            fatal("bad trace header '{}'", line);
+        break;
+    }
+
+    Trace trace(abbr, app, suite, parsePattern(pattern));
+    std::size_t line_no = 1;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (line == "k") {
+            trace.beginKernel();
+            continue;
+        }
+        std::istringstream rec(line);
+        PageId page = 0;
+        unsigned burst = 0;
+        std::string flag;
+        rec >> std::hex >> page >> std::dec >> burst >> flag;
+        if (burst == 0 || burst > UINT16_MAX || (!flag.empty() && flag != "w"))
+            fatal("bad trace record at line {}: '{}'", line_no, line);
+        trace.add(page, static_cast<std::uint16_t>(burst), flag == "w");
+    }
+    return trace;
+}
+
+Trace
+loadTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '{}'", path);
+    return loadTrace(is);
+}
+
+} // namespace hpe

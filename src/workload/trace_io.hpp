@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Trace serialization: save and load page-visit traces in a small text
+ * format, so users can replay real application traces (e.g. captured from
+ * an instrumented driver) through the simulators instead of the built-in
+ * synthetic generators.
+ *
+ * Format (one record per line, '#' comments ignored):
+ *
+ *   trace <abbr> <application> <suite> <pattern I..VI>
+ *   k                     # kernel-launch boundary
+ *   <page-hex> <burst>    # one visit
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.hpp"
+
+namespace hpe {
+
+/** Write @p trace to @p os in the text format above. */
+void saveTrace(const Trace &trace, std::ostream &os);
+
+/** Write @p trace to @p path; fatal() on I/O failure. */
+void saveTraceFile(const Trace &trace, const std::string &path);
+
+/** Parse a trace from @p is; fatal() on malformed input. */
+Trace loadTrace(std::istream &is);
+
+/** Read a trace from @p path; fatal() on I/O failure. */
+Trace loadTraceFile(const std::string &path);
+
+} // namespace hpe

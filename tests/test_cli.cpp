@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the hpe_sim command-line tool: the argument parser and the
+ * subcommand implementations (driven through string streams).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+#include "workload/trace_io.hpp"
+
+namespace hpe::cli {
+namespace {
+
+Args
+parse(std::vector<const char *> argv)
+{
+    argv.insert(argv.begin(), "hpe_sim");
+    return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, ParsesCommandAndOptions)
+{
+    const Args a = parse({"run", "--app", "HSD", "--oversub", "0.5"});
+    EXPECT_EQ(a.command(), "run");
+    EXPECT_EQ(a.get("app"), "HSD");
+    EXPECT_DOUBLE_EQ(a.getDouble("oversub", 0.75), 0.5);
+}
+
+TEST(Args, EqualsSyntax)
+{
+    const Args a = parse({"run", "--app=STN", "--seed=7"});
+    EXPECT_EQ(a.get("app"), "STN");
+    EXPECT_EQ(a.getUint("seed", 1), 7u);
+}
+
+TEST(Args, BareFlags)
+{
+    const Args a = parse({"run", "--csv", "--functional"});
+    EXPECT_TRUE(a.has("csv"));
+    EXPECT_TRUE(a.has("functional"));
+    EXPECT_FALSE(a.has("stats"));
+}
+
+TEST(Args, DefaultsWhenMissing)
+{
+    const Args a = parse({"run"});
+    EXPECT_EQ(a.get("app", "HSD"), "HSD");
+    EXPECT_DOUBLE_EQ(a.getDouble("oversub", 0.75), 0.75);
+    EXPECT_EQ(a.getUint("seed", 1), 1u);
+}
+
+TEST(Args, NoCommand)
+{
+    const Args a = parse({});
+    EXPECT_TRUE(a.command().empty());
+}
+
+TEST(Args, MalformedNumberIsFatal)
+{
+    const Args a = parse({"run", "--oversub", "abc"});
+    EXPECT_EXIT({ a.getDouble("oversub", 0.75); },
+                ::testing::ExitedWithCode(1), "expects a number");
+}
+
+TEST(Args, UnknownOptionRejected)
+{
+    const Args a = parse({"run", "--bogus", "1"});
+    EXPECT_EXIT({ a.allowOnly({"app"}); }, ::testing::ExitedWithCode(1),
+                "unknown option");
+}
+
+TEST(Commands, ListShowsAppsAndPolicies)
+{
+    std::ostringstream os;
+    EXPECT_EQ(dispatch(parse({"list"}), os), 0);
+    EXPECT_NE(os.str().find("HSD"), std::string::npos);
+    EXPECT_NE(os.str().find("HPE"), std::string::npos);
+    EXPECT_NE(os.str().find("CLOCK-Pro"), std::string::npos);
+}
+
+TEST(Commands, RunFunctionalCsv)
+{
+    std::ostringstream os;
+    const Args a = parse({"run", "--app", "STN", "--policy", "LRU",
+                          "--functional", "--csv", "--scale", "0.5"});
+    EXPECT_EQ(dispatch(a, os), 0);
+    EXPECT_NE(os.str().find("app,policy,mode"), std::string::npos);
+    EXPECT_NE(os.str().find("STN,LRU,functional"), std::string::npos);
+}
+
+TEST(Commands, RunTimingTable)
+{
+    std::ostringstream os;
+    const Args a = parse({"run", "--app", "STN", "--scale", "0.5"});
+    EXPECT_EQ(dispatch(a, os), 0);
+    EXPECT_NE(os.str().find("IPC"), std::string::npos);
+}
+
+TEST(Commands, RunWithStatsDump)
+{
+    std::ostringstream os;
+    const Args a = parse({"run", "--app", "STN", "--functional", "--stats",
+                          "--scale", "0.5"});
+    EXPECT_EQ(dispatch(a, os), 0);
+    EXPECT_NE(os.str().find("uvm.faults"), std::string::npos);
+}
+
+TEST(Commands, RunUnknownPolicyIsFatal)
+{
+    std::ostringstream os;
+    const Args a = parse({"run", "--policy", "NOPE", "--scale", "0.25"});
+    EXPECT_EXIT({ dispatch(a, os); }, ::testing::ExitedWithCode(1),
+                "unknown policy");
+}
+
+TEST(Commands, CompareCoversAllPaperPolicies)
+{
+    std::ostringstream os;
+    const Args a = parse({"compare", "--app", "STN", "--scale", "0.5"});
+    EXPECT_EQ(dispatch(a, os), 0);
+    for (const char *name : {"LRU", "Random", "RRIP", "CLOCK-Pro", "Ideal",
+                             "HPE"})
+        EXPECT_NE(os.str().find(name), std::string::npos) << name;
+}
+
+TEST(Commands, TraceRoundTripsThroughFile)
+{
+    const std::string path = ::testing::TempDir() + "/hpe_cli_trace.trace";
+    std::ostringstream os;
+    const Args a = parse(
+        {"trace", "--app", "STN", "--scale", "0.25", "--out", path.c_str()});
+    EXPECT_EQ(dispatch(a, os), 0);
+    const Trace t = loadTraceFile(path);
+    EXPECT_GT(t.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Commands, UnknownCommandPrintsUsageAndFails)
+{
+    std::ostringstream os;
+    EXPECT_EQ(dispatch(parse({"frobnicate"}), os), 1);
+    EXPECT_NE(os.str().find("usage"), std::string::npos);
+}
+
+TEST(Commands, NoCommandPrintsUsageAndSucceeds)
+{
+    std::ostringstream os;
+    EXPECT_EQ(dispatch(parse({}), os), 0);
+    EXPECT_NE(os.str().find("usage"), std::string::npos);
+}
+
+} // namespace
+} // namespace hpe::cli

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Edge-case and failure-injection tests across modules: invariant
+ * violations must die loudly (HPE_ASSERT), and boundary geometries must
+ * work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "mem/dram.hpp"
+#include "mem/page_table.hpp"
+#include "mem/set_assoc.hpp"
+#include "policy/lru.hpp"
+#include "sim/experiment.hpp"
+
+namespace hpe {
+namespace {
+
+TEST(Death, PageTableDoubleMap)
+{
+    PageTable pt;
+    pt.map(1, 1);
+    EXPECT_DEATH({ pt.map(1, 2); }, "double map");
+}
+
+TEST(Death, PageTableUnmapMissing)
+{
+    PageTable pt;
+    EXPECT_DEATH({ pt.unmap(1); }, "non-resident");
+}
+
+TEST(Death, FrameAllocatorExhausted)
+{
+    FrameAllocator alloc(1);
+    alloc.allocate();
+    EXPECT_DEATH({ alloc.allocate(); }, "exhausted");
+}
+
+TEST(Death, SetAssocDuplicateInsert)
+{
+    SetAssocArray<int> arr(8, 2);
+    arr.insert(1);
+    EXPECT_DEATH({ arr.insert(1); }, "duplicate insert");
+}
+
+TEST(Death, EventQueueSchedulingIntoThePast)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH({ eq.schedule(5, [] {}); }, "into the past");
+}
+
+TEST(Death, TableRowArityMismatch)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH({ t.addRow({"only one"}); }, "row has 1 cells");
+}
+
+TEST(Death, LruEvictUntracked)
+{
+    LruPolicy lru;
+    lru.onMigrateIn(1);
+    EXPECT_DEATH({ lru.onEvict(99); }, "untracked");
+}
+
+TEST(Death, UvmFaultOnResidentPage)
+{
+    StatRegistry stats;
+    LruPolicy lru;
+    UvmMemoryManager uvm(4, lru, stats, "uvm");
+    uvm.handleFault(1);
+    EXPECT_DEATH({ uvm.handleFault(1); }, "resident");
+}
+
+TEST(Death, MarkDirtyNonResident)
+{
+    StatRegistry stats;
+    LruPolicy lru;
+    UvmMemoryManager uvm(4, lru, stats, "uvm");
+    EXPECT_DEATH({ uvm.markDirty(7); }, "non-resident");
+}
+
+TEST(EventQueueEdge, NextEventCycle)
+{
+    EventQueue eq;
+    eq.schedule(42, [] {});
+    EXPECT_EQ(eq.nextEventCycle(), 42u);
+}
+
+TEST(SetAssocEdge, DirectMappedGeometry)
+{
+    SetAssocArray<int> arr(8, 1); // direct-mapped
+    arr.insert(0);
+    arr.insert(8); // same set: conflict
+    EXPECT_EQ(arr.probe(0), nullptr);
+    EXPECT_NE(arr.probe(8), nullptr);
+    EXPECT_EQ(arr.conflictEvictions(), 1u);
+}
+
+TEST(SetAssocEdge, FullyAssociativeGeometry)
+{
+    SetAssocArray<int> arr(4, 4); // one set
+    for (std::uint64_t k = 100; k < 104; ++k)
+        arr.insert(k);
+    EXPECT_EQ(arr.occupancy(), 4u);
+    arr.insert(999); // evicts LRU = 100
+    EXPECT_EQ(arr.probe(100), nullptr);
+}
+
+TEST(DramEdge, ManyRequestsOneBankAllComplete)
+{
+    EventQueue eq;
+    StatRegistry stats;
+    DramConfig cfg;
+    cfg.channels = 1;
+    cfg.banksPerChannel = 1;
+    Dram dram(cfg, eq, stats, "d");
+    int done = 0;
+    for (Addr a = 0; a < 64 * cfg.lineBytes; a += cfg.lineBytes)
+        dram.read(a, [&] { ++done; });
+    eq.run();
+    EXPECT_EQ(done, 64);
+    EXPECT_TRUE(dram.idle());
+    // Sequential lines in one row: mostly row hits after the opener.
+    EXPECT_GT(dram.rowHits(), dram.rowMisses());
+}
+
+TEST(ExperimentEdge, OversubBoundsChecked)
+{
+    Trace t("X", "x", "s", PatternType::I);
+    t.add(1);
+    EXPECT_DEATH({ framesFor(t, 0.0); }, "oversubscription");
+    EXPECT_DEATH({ framesFor(t, 1.5); }, "oversubscription");
+}
+
+TEST(ExperimentEdge, MinimumOneFrame)
+{
+    Trace t("X", "x", "s", PatternType::I);
+    t.add(1);
+    EXPECT_EQ(framesFor(t, 1.0), 1u);
+}
+
+} // namespace
+} // namespace hpe

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the HIR hit-information record cache (§IV-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/hir_cache.hpp"
+
+namespace hpe {
+namespace {
+
+HpeConfig
+smallHir()
+{
+    HpeConfig cfg;
+    cfg.hirEntries = 16;
+    cfg.hirWays = 2;
+    return cfg;
+}
+
+TEST(Hir, RecordsCountsPerPageOffset)
+{
+    StatRegistry stats;
+    HirCache hir(HpeConfig{}, stats, "hir");
+    hir.recordHit(16 * 5 + 3); // set 5, offset 3
+    hir.recordHit(16 * 5 + 3);
+    hir.recordHit(16 * 5 + 7);
+    const auto records = hir.flush();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].set, 5u);
+    EXPECT_EQ(records[0].counts[3], 2);
+    EXPECT_EQ(records[0].counts[7], 1);
+    EXPECT_EQ(records[0].counts[0], 0);
+}
+
+TEST(Hir, CounterSaturatesAtTwoBits)
+{
+    StatRegistry stats;
+    HirCache hir(HpeConfig{}, stats, "hir");
+    for (int i = 0; i < 10; ++i)
+        hir.recordHit(0);
+    const auto records = hir.flush();
+    EXPECT_EQ(records[0].counts[0], 3); // 2-bit ceiling
+}
+
+TEST(Hir, FlushPreservesFirstTouchOrder)
+{
+    StatRegistry stats;
+    HirCache hir(HpeConfig{}, stats, "hir");
+    hir.recordHit(16 * 9);
+    hir.recordHit(16 * 2);
+    hir.recordHit(16 * 9); // re-touch does not reorder
+    hir.recordHit(16 * 4);
+    const auto records = hir.flush();
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].set, 9u);
+    EXPECT_EQ(records[1].set, 2u);
+    EXPECT_EQ(records[2].set, 4u);
+}
+
+TEST(Hir, FlushEmptiesTheCache)
+{
+    StatRegistry stats;
+    HirCache hir(HpeConfig{}, stats, "hir");
+    hir.recordHit(100);
+    hir.flush();
+    EXPECT_EQ(hir.occupancy(), 0u);
+    EXPECT_TRUE(hir.flush().empty());
+}
+
+TEST(Hir, WayConflictDropsVictimInfo)
+{
+    StatRegistry stats;
+    HirCache hir(smallHir(), stats, "hir");
+    // 16 entries, 2 ways -> 8 sets.  Page sets 0, 8, 16 map to set 0.
+    hir.recordHit(16 * 0);
+    hir.recordHit(16 * 8);
+    hir.recordHit(16 * 16); // conflict: evicts the LRU (set 0)
+    EXPECT_EQ(hir.conflictDrops(), 1u);
+    const auto records = hir.flush();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].set, 8u);
+    EXPECT_EQ(records[1].set, 16u);
+}
+
+TEST(Hir, DefaultGeometryAvoidsConflictsForSequentialSets)
+{
+    StatRegistry stats;
+    HirCache hir(HpeConfig{}, stats, "hir");
+    // 1024 entries, 8 ways, 128 sets: 1024 consecutive page sets fill
+    // the cache exactly without conflicts.
+    for (PageId set = 0; set < 1024; ++set)
+        hir.recordHit(set * 16);
+    EXPECT_EQ(hir.conflictDrops(), 0u);
+    EXPECT_EQ(hir.occupancy(), 1024u);
+}
+
+TEST(Hir, RecordBytesMatchesPaperEstimate)
+{
+    StatRegistry stats;
+    HirCache hir(HpeConfig{}, stats, "hir");
+    // §V-C: 48-bit tag + 16 x 2-bit counters = 80 bits = 10 bytes.
+    EXPECT_EQ(hir.recordBytes(), 10u);
+}
+
+TEST(Hir, EntriesPerFlushDistributionSampled)
+{
+    StatRegistry stats;
+    HirCache hir(HpeConfig{}, stats, "hir");
+    hir.recordHit(0);
+    hir.recordHit(16);
+    hir.flush();
+    hir.recordHit(0);
+    hir.flush();
+    const auto &d = stats.findDistribution("hir.entriesPerFlush");
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_DOUBLE_EQ(d.mean(), 1.5);
+}
+
+TEST(Hir, StrideFourWastesEntrySpace)
+{
+    // The MVT behaviour (§V-B): stride-4 pages touch only 4 offsets per
+    // set, so covering N pages costs 4x the entries of dense access.
+    StatRegistry stats;
+    HirCache dense(HpeConfig{}, stats, "d");
+    HirCache strided(HpeConfig{}, stats, "s");
+    for (PageId p = 0; p < 256; ++p)
+        dense.recordHit(p);
+    for (PageId p = 0; p < 256 * 4; p += 4)
+        strided.recordHit(p);
+    EXPECT_EQ(dense.occupancy(), 16u);
+    EXPECT_EQ(strided.occupancy(), 64u);
+}
+
+} // namespace
+} // namespace hpe

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Unit tests for the mem module: set-associative array, data caches,
+ * FR-FCFS DRAM, page table, and frame allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <variant>
+#include <vector>
+
+#include "common/event_queue.hpp"
+#include "common/stats.hpp"
+#include "mem/data_cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/page_table.hpp"
+#include "mem/set_assoc.hpp"
+
+namespace hpe {
+namespace {
+
+TEST(SetAssoc, InsertAndFind)
+{
+    SetAssocArray<int> arr(16, 4);
+    arr.insert(0x10).data = 7;
+    auto *e = arr.find(0x10);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->data, 7);
+}
+
+TEST(SetAssoc, MissReturnsNull)
+{
+    SetAssocArray<int> arr(16, 4);
+    EXPECT_EQ(arr.find(0x99), nullptr);
+}
+
+TEST(SetAssoc, LruEvictionWithinSet)
+{
+    // 8 entries, 4 ways -> 2 sets; even keys map to set 0.
+    SetAssocArray<int> arr(8, 4);
+    for (std::uint64_t k = 0; k < 8; k += 2)
+        arr.insert(k); // fills set 0: keys 0,2,4,6
+    arr.find(0);       // refresh key 0
+    SetAssocArray<int>::Entry victim;
+    arr.insert(8, &victim); // set 0 overflows
+    EXPECT_EQ(victim.tag, 2u); // LRU among {2,4,6}
+    EXPECT_EQ(arr.probe(0) != nullptr, true);
+    EXPECT_EQ(arr.probe(2), nullptr);
+}
+
+TEST(SetAssoc, ConflictEvictionsCounted)
+{
+    SetAssocArray<int> arr(4, 2); // 2 sets
+    arr.insert(0);
+    arr.insert(2);
+    arr.insert(4); // evicts in set 0
+    EXPECT_EQ(arr.conflictEvictions(), 1u);
+}
+
+TEST(SetAssoc, EraseRemoves)
+{
+    SetAssocArray<int> arr(16, 4);
+    arr.insert(5);
+    EXPECT_TRUE(arr.erase(5));
+    EXPECT_FALSE(arr.erase(5));
+    EXPECT_EQ(arr.probe(5), nullptr);
+}
+
+TEST(SetAssoc, ClearEmptiesEverything)
+{
+    SetAssocArray<int> arr(16, 4);
+    arr.insert(1);
+    arr.insert(2);
+    arr.clear();
+    EXPECT_EQ(arr.occupancy(), 0u);
+}
+
+TEST(SetAssoc, NonPowerOfTwoSetCount)
+{
+    // 12 sets (like the 1.5 MB L2): modulo indexing must still work.
+    SetAssocArray<int> arr(96, 8);
+    for (std::uint64_t k = 0; k < 96; ++k)
+        arr.insert(k * 12 + 5); // all map to set 5
+    EXPECT_EQ(arr.occupancy(), 8u);
+}
+
+TEST(SetAssoc, ForEachVisitsValidOnly)
+{
+    SetAssocArray<int> arr(16, 4);
+    arr.insert(1);
+    arr.insert(9);
+    int n = 0;
+    arr.forEach([&](auto &) { ++n; });
+    EXPECT_EQ(n, 2);
+}
+
+TEST(DataCache, HitAfterFill)
+{
+    StatRegistry stats;
+    DataCache cache({.sizeBytes = 1024, .ways = 4, .lineBytes = 64,
+                     .hitLatency = 1},
+                    stats, "c");
+    EXPECT_FALSE(cache.access(0x100));
+    EXPECT_TRUE(cache.access(0x100));
+    EXPECT_TRUE(cache.access(0x13f)); // same 64 B line as 0x100
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(DataCache, DistinctLinesMiss)
+{
+    StatRegistry stats;
+    DataCache cache({.sizeBytes = 1024, .ways = 4, .lineBytes = 64,
+                     .hitLatency = 1},
+                    stats, "c");
+    cache.access(0x000);
+    EXPECT_FALSE(cache.access(0x040));
+}
+
+TEST(DataCache, InvalidatePageDropsItsLines)
+{
+    StatRegistry stats;
+    DataCache cache({.sizeBytes = 64 * 1024, .ways = 4, .lineBytes = 128,
+                     .hitLatency = 1},
+                    stats, "c");
+    const Addr in_page = addrOf(3) + 256;
+    const Addr other = addrOf(7);
+    cache.access(in_page);
+    cache.access(other);
+    cache.invalidatePage(3);
+    EXPECT_FALSE(cache.access(in_page));
+    EXPECT_TRUE(cache.access(other));
+}
+
+TEST(PageTable, MapLookupUnmap)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.resident(4));
+    pt.map(4, 9);
+    EXPECT_TRUE(pt.resident(4));
+    EXPECT_EQ(pt.lookup(4), 9u);
+    EXPECT_EQ(pt.unmap(4), 9u);
+    EXPECT_EQ(pt.lookup(4), kInvalidId);
+}
+
+TEST(PageTable, SizeTracksMappings)
+{
+    PageTable pt;
+    pt.map(1, 1);
+    pt.map(2, 2);
+    EXPECT_EQ(pt.size(), 2u);
+    pt.unmap(1);
+    EXPECT_EQ(pt.size(), 1u);
+}
+
+TEST(FrameAllocator, AllocatesAllFramesOnce)
+{
+    FrameAllocator alloc(4);
+    std::vector<FrameId> frames;
+    for (int i = 0; i < 4; ++i)
+        frames.push_back(alloc.allocate());
+    EXPECT_TRUE(alloc.full());
+    std::sort(frames.begin(), frames.end());
+    EXPECT_EQ(frames, (std::vector<FrameId>{0, 1, 2, 3}));
+}
+
+TEST(FrameAllocator, ReleaseMakesFrameAvailable)
+{
+    FrameAllocator alloc(1);
+    const FrameId f = alloc.allocate();
+    EXPECT_TRUE(alloc.full());
+    alloc.release(f);
+    EXPECT_FALSE(alloc.full());
+    EXPECT_EQ(alloc.allocate(), f);
+}
+
+TEST(FrameAllocator, AscendingFirstHandout)
+{
+    FrameAllocator alloc(3);
+    EXPECT_EQ(alloc.allocate(), 0u);
+    EXPECT_EQ(alloc.allocate(), 1u);
+}
+
+class DramTest : public ::testing::Test
+{
+  protected:
+    DramTest() : dram_(cfg_, eq_, stats_, "dram") {}
+
+    DramConfig cfg_{.channels = 2,
+                    .banksPerChannel = 2,
+                    .rowBytes = 1024,
+                    .lineBytes = 128,
+                    .rowHitLatency = 10,
+                    .rowMissLatency = 50,
+                    .burstCycles = 4};
+    EventQueue eq_;
+    StatRegistry stats_;
+    Dram dram_;
+};
+
+TEST_F(DramTest, SingleReadCompletes)
+{
+    bool done = false;
+    dram_.read(0, [&] { done = true; });
+    eq_.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(eq_.now(), cfg_.rowMissLatency + cfg_.burstCycles);
+}
+
+TEST_F(DramTest, RowHitIsFaster)
+{
+    Cycle first = 0, second = 0;
+    dram_.read(0, [&] { first = eq_.now(); });
+    eq_.run();
+    dram_.read(64, [&] { second = eq_.now(); }); // same row
+    eq_.run();
+    EXPECT_EQ(second - first, cfg_.rowHitLatency + cfg_.burstCycles);
+    EXPECT_EQ(dram_.rowHits(), 1u);
+    EXPECT_EQ(dram_.rowMisses(), 1u);
+}
+
+TEST_F(DramTest, FrFcfsPrefersRowHitOverOlder)
+{
+    // Address layout: channel = (addr/128)%2, bank = (addr/1024)%2,
+    // row = addr/1024/2.  Use channel-0 addresses only (line index even).
+    const Addr row0 = 0;         // ch0, bank0, row0
+    const Addr row1 = 4096;      // ch0, bank0, row1
+    const Addr row0_b = 256;     // ch0, bank0, row0 (second line)
+    std::vector<int> order;
+    dram_.read(row0, [&] { order.push_back(0); });
+    // Queue while busy: an older row-miss request and a younger row-hit.
+    dram_.read(row1, [&] { order.push_back(1); });
+    dram_.read(row0_b, [&] { order.push_back(2); });
+    eq_.run();
+    // FR-FCFS services the row0 hit (younger) before the row1 miss.
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST_F(DramTest, ChannelsServiceInParallel)
+{
+    Cycle a = 0, b = 0;
+    dram_.read(0, [&] { a = eq_.now(); });   // channel 0
+    dram_.read(128, [&] { b = eq_.now(); }); // channel 1
+    eq_.run();
+    EXPECT_EQ(a, b); // independent channels, same completion cycle
+}
+
+TEST_F(DramTest, IdleReflectsState)
+{
+    EXPECT_TRUE(dram_.idle());
+    dram_.read(0, [] {});
+    EXPECT_FALSE(dram_.idle());
+    eq_.run();
+    EXPECT_TRUE(dram_.idle());
+}
+
+} // namespace
+} // namespace hpe

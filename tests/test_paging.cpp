@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the functional paging simulator and the experiment runners,
+ * including cross-policy properties on the real application traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "policy/lru.hpp"
+#include "sim/experiment.hpp"
+#include "sim/paging_simulator.hpp"
+#include "sim/policy_factory.hpp"
+#include "workload/apps.hpp"
+
+namespace hpe {
+namespace {
+
+Trace
+cyclicTrace(std::size_t pages, unsigned passes)
+{
+    Trace t("CYC", "cyclic", "synthetic", PatternType::II);
+    for (unsigned n = 0; n < passes; ++n) {
+        t.beginKernel();
+        for (PageId p = 0; p < pages; ++p)
+            t.add(p);
+    }
+    return t;
+}
+
+TEST(PagingSim, NoEvictionsWhenMemoryFits)
+{
+    const Trace t = cyclicTrace(50, 3);
+    StatRegistry stats;
+    LruPolicy lru;
+    const auto r = runPaging(t, lru, 50, stats);
+    EXPECT_EQ(r.faults, 50u);
+    EXPECT_EQ(r.evictions, 0u);
+    EXPECT_EQ(r.hits, 100u);
+    EXPECT_EQ(r.references, 150u);
+}
+
+TEST(PagingSim, LruThrashesOnCyclicPattern)
+{
+    const Trace t = cyclicTrace(50, 3);
+    StatRegistry stats;
+    LruPolicy lru;
+    const auto r = runPaging(t, lru, 40, stats);
+    EXPECT_EQ(r.faults, 150u); // every reference faults
+}
+
+TEST(PagingSim, MinOptimalOnCyclicPattern)
+{
+    const Trace t = cyclicTrace(50, 3);
+    const RunConfig cfg{.oversub = 0.8};
+    const auto r = runFunctional(t, PolicyKind::Ideal, cfg);
+    // OPT = k + (N-1)(k - m) = 50 + 2*(50-40) = 70.
+    EXPECT_EQ(r.faults, 70u);
+}
+
+TEST(PagingSim, FaultRate)
+{
+    const Trace t = cyclicTrace(10, 1);
+    StatRegistry stats;
+    LruPolicy lru;
+    const auto r = runPaging(t, lru, 10, stats);
+    EXPECT_DOUBLE_EQ(r.faultRate(), 1.0);
+}
+
+TEST(Experiment, FramesForRoundsUp)
+{
+    const Trace t = cyclicTrace(100, 1);
+    EXPECT_EQ(framesFor(t, 0.75), 75u);
+    EXPECT_EQ(framesFor(t, 0.5), 50u);
+    const Trace t2 = cyclicTrace(3, 1);
+    EXPECT_EQ(framesFor(t2, 0.5), 2u); // ceil(1.5)
+}
+
+TEST(Experiment, InspectableRunExposesHpe)
+{
+    const Trace t = cyclicTrace(100, 2);
+    const auto run = runFunctionalInspect(t, PolicyKind::Hpe, RunConfig{});
+    EXPECT_NE(run.hpe(), nullptr);
+    const auto lru = runFunctionalInspect(t, PolicyKind::Lru, RunConfig{});
+    EXPECT_EQ(lru.hpe(), nullptr);
+}
+
+TEST(PolicyFactory, NamesAndKinds)
+{
+    EXPECT_EQ(allPolicyKinds().size(), 6u);
+    EXPECT_STREQ(policyKindName(PolicyKind::Hpe), "HPE");
+    EXPECT_STREQ(policyKindName(PolicyKind::ClockPro), "CLOCK-Pro");
+}
+
+TEST(PolicyFactory, BuildsEveryKind)
+{
+    const Trace t = cyclicTrace(20, 2);
+    StatRegistry stats;
+    for (PolicyKind kind : allPolicyKinds()) {
+        auto policy = makePolicy(kind, t, stats);
+        ASSERT_NE(policy, nullptr);
+        EXPECT_FALSE(policy->name().empty());
+    }
+}
+
+TEST(PolicyFactory, RripGetsThrashingConfigForTypeII)
+{
+    // Type II trace: RRIP must tolerate an immediate eviction demand
+    // without evicting the newest insertions (delay threshold 128).
+    const Trace t = cyclicTrace(300, 2);
+    const auto rrip = runFunctional(t, PolicyKind::Rrip, RunConfig{});
+    EXPECT_GT(rrip.faults, 0u);
+}
+
+/** MIN lower-bounds every policy on every application (75% oversub). */
+class FunctionalOptimalityTest : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(FunctionalOptimalityTest, IdealIsLowerBound)
+{
+    const Trace t = buildApp(GetParam(), 0.5); // half scale for speed
+    RunConfig cfg;
+    const auto ideal = runFunctional(t, PolicyKind::Ideal, cfg);
+    for (PolicyKind kind : extendedPolicyKinds()) {
+        if (kind == PolicyKind::Ideal)
+            continue;
+        const auto r = runFunctional(t, kind, cfg);
+        EXPECT_GE(r.faults, ideal.faults) << policyKindName(kind);
+        EXPECT_EQ(r.references, ideal.references);
+    }
+}
+
+TEST_P(FunctionalOptimalityTest, EvictionsConsistentWithFaults)
+{
+    const Trace t = buildApp(GetParam(), 0.5);
+    RunConfig cfg;
+    for (PolicyKind kind : extendedPolicyKinds()) {
+        const auto r = runFunctional(t, kind, cfg);
+        // evictions = faults - capacity once memory has filled.
+        EXPECT_EQ(r.evictions, r.faults - framesFor(t, cfg.oversub))
+            << policyKindName(kind);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, FunctionalOptimalityTest,
+    ::testing::Values("HOT", "LEU", "CUT", "2DC", "GEM", "SRD", "HSD", "MRQ",
+                      "STN", "PAT", "DWT", "BKP", "KMN", "SAD", "NW", "BFS",
+                      "MVT", "HWL", "SGM", "HIS", "SPV", "B+T", "HYB"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '+')
+                c = 'p';
+        return name;
+    });
+
+} // namespace
+} // namespace hpe

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Cross-cutting property tests:
+ *
+ *  - the stack (inclusion) property: LRU and MIN are stack algorithms, so
+ *    their fault counts are monotonically non-increasing in memory size
+ *    (parameterized over applications);
+ *  - HPE's parameter space: the policy runs correctly across page-set
+ *    sizes and interval lengths (parameterized sweep);
+ *  - oversubscription monotonicity of the headline comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "sim/experiment.hpp"
+#include "workload/apps.hpp"
+
+namespace hpe {
+namespace {
+
+class StackPropertyTest : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(StackPropertyTest, LruFaultsMonotoneInMemorySize)
+{
+    const Trace t = buildApp(GetParam(), 0.5);
+    std::uint64_t prev = UINT64_MAX;
+    for (double oversub : {0.3, 0.5, 0.7, 0.9, 1.0}) {
+        RunConfig cfg;
+        cfg.oversub = oversub;
+        const auto r = runFunctional(t, PolicyKind::Lru, cfg);
+        EXPECT_LE(r.faults, prev) << "oversub " << oversub;
+        prev = r.faults;
+    }
+}
+
+TEST_P(StackPropertyTest, MinFaultsMonotoneInMemorySize)
+{
+    const Trace t = buildApp(GetParam(), 0.5);
+    std::uint64_t prev = UINT64_MAX;
+    for (double oversub : {0.3, 0.5, 0.7, 0.9, 1.0}) {
+        RunConfig cfg;
+        cfg.oversub = oversub;
+        const auto r = runFunctional(t, PolicyKind::Ideal, cfg);
+        EXPECT_LE(r.faults, prev) << "oversub " << oversub;
+        prev = r.faults;
+    }
+}
+
+TEST_P(StackPropertyTest, FullMemoryMeansCompulsoryFaultsOnly)
+{
+    const Trace t = buildApp(GetParam(), 0.5);
+    RunConfig cfg;
+    cfg.oversub = 1.0;
+    for (PolicyKind kind : {PolicyKind::Lru, PolicyKind::Hpe,
+                            PolicyKind::Ideal}) {
+        const auto r = runFunctional(t, kind, cfg);
+        EXPECT_EQ(r.faults, t.footprintPages()) << policyKindName(kind);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, StackPropertyTest,
+                         ::testing::Values("HOT", "GEM", "HSD", "KMN", "NW",
+                                           "BFS", "HIS", "B+T"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '+')
+                                     c = 'p';
+                             return name;
+                         });
+
+/** HPE parameter sweep: (page set size, interval length). */
+class HpeParamSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>>
+{};
+
+TEST_P(HpeParamSweepTest, RunsCorrectlyAndBeatsThrashingLru)
+{
+    const auto [set_size, interval] = GetParam();
+    const Trace t = buildApp("HSD", 0.5);
+    RunConfig cfg;
+    cfg.hpe.pageSetSize = set_size;
+    cfg.hpe.intervalLength = interval;
+    cfg.hpe.wrongEvictionThreshold = set_size;
+    cfg.hpe.fifoDepth = 2 * interval;
+    const auto hpe = runFunctional(t, PolicyKind::Hpe, cfg);
+    const auto lru = runFunctional(t, PolicyKind::Lru, cfg);
+    const auto ideal = runFunctional(t, PolicyKind::Ideal, cfg);
+    EXPECT_GE(hpe.faults, ideal.faults);
+    // Every configuration must still beat LRU on the thrashing pattern
+    // (the policy's raison d'etre); the paper itself reports interval 128
+    // "performs unstably" for type II, so only the shorter intervals get
+    // the strong bound.
+    EXPECT_LT(hpe.faults, lru.faults)
+        << "set size " << set_size << ", interval " << interval;
+    if (interval <= 64) {
+        EXPECT_LT(hpe.faults, lru.faults * 0.8)
+            << "set size " << set_size << ", interval " << interval;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HpeParamSweepTest,
+    ::testing::Combine(::testing::Values(8u, 16u, 32u),
+                       ::testing::Values(32u, 64u, 128u)),
+    [](const auto &info) {
+        return "set" + std::to_string(std::get<0>(info.param)) + "_interval"
+            + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(GpuCorners, SingleVisitTrace)
+{
+    Trace t("1", "one", "s", PatternType::I);
+    t.add(5, 1);
+    RunConfig cfg;
+    cfg.oversub = 1.0;
+    const auto r = runTiming(t, PolicyKind::Lru, cfg);
+    EXPECT_EQ(r.instructions, 1u);
+    EXPECT_EQ(r.faults, 1u);
+}
+
+TEST(GpuCorners, ManyKernelsOfOneVisit)
+{
+    Trace t("K", "kernels", "s", PatternType::VI);
+    for (PageId p = 0; p < 20; ++p) {
+        t.beginKernel();
+        t.add(p, 2);
+    }
+    RunConfig cfg;
+    cfg.oversub = 1.0;
+    const auto r = runTiming(t, PolicyKind::Lru, cfg);
+    EXPECT_EQ(r.instructions, 40u);
+    EXPECT_EQ(r.faults, 20u);
+}
+
+TEST(GpuCorners, TinyMemoryOfOneFrame)
+{
+    Trace t("T", "tiny", "s", PatternType::II);
+    for (int pass = 0; pass < 2; ++pass)
+        for (PageId p = 0; p < 4; ++p)
+            t.add(p, 1);
+    StatRegistry stats;
+    auto policy = makePolicy(PolicyKind::Lru, t, stats);
+    const auto r = runPaging(t, *policy, 1, stats);
+    EXPECT_EQ(r.faults, 8u); // one frame: everything faults
+}
+
+TEST(GpuCorners, HpeWithOneFrame)
+{
+    Trace t("T", "tiny", "s", PatternType::II);
+    for (int pass = 0; pass < 3; ++pass)
+        for (PageId p = 0; p < 4; ++p)
+            t.add(p, 1);
+    StatRegistry stats;
+    auto policy = makePolicy(PolicyKind::Hpe, t, stats);
+    const auto r = runPaging(t, *policy, 1, stats);
+    EXPECT_EQ(r.faults, 12u);
+}
+
+} // namespace
+} // namespace hpe

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the multi-level translation substrate: the radix page table,
+ * the page walk cache, the multi-level walker, and their integration with
+ * the UVM manager and the timing simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "driver/uvm_manager.hpp"
+#include "gpu/gpu_system.hpp"
+#include "mem/radix_page_table.hpp"
+#include "policy/lru.hpp"
+#include "sim/experiment.hpp"
+#include "tlb/multi_level_walker.hpp"
+#include "workload/apps.hpp"
+
+namespace hpe {
+namespace {
+
+TEST(RadixTable, MapLookupUnmap)
+{
+    RadixPageTable pt;
+    pt.map(0x12345, 7);
+    EXPECT_EQ(pt.lookup(0x12345), 7u);
+    EXPECT_TRUE(pt.resident(0x12345));
+    EXPECT_EQ(pt.unmap(0x12345), 7u);
+    EXPECT_FALSE(pt.resident(0x12345));
+}
+
+TEST(RadixTable, LookupMissReturnsInvalid)
+{
+    RadixPageTable pt;
+    EXPECT_EQ(pt.lookup(42), kInvalidId);
+}
+
+TEST(RadixTable, IndexAndPrefixArithmetic)
+{
+    RadixPageTable pt; // 9 bits per level
+    const PageId page = (3ull << 27) | (5ull << 18) | (7ull << 9) | 11;
+    EXPECT_EQ(pt.indexAt(page, 4), 3u);
+    EXPECT_EQ(pt.indexAt(page, 3), 5u);
+    EXPECT_EQ(pt.indexAt(page, 2), 7u);
+    EXPECT_EQ(pt.indexAt(page, 1), 11u);
+    EXPECT_EQ(pt.prefixAt(page, 1), page);
+    EXPECT_EQ(pt.prefixAt(page, 4), 3u);
+}
+
+TEST(RadixTable, NodesAllocatedPerDistinctPath)
+{
+    RadixPageTable pt;
+    pt.map(0, 0);
+    EXPECT_EQ(pt.nodeCount(), 3u); // L3, L2, L1 nodes under the root
+    pt.map(1, 1);                  // same leaf node
+    EXPECT_EQ(pt.nodeCount(), 3u);
+    pt.map(1ull << 9, 2); // new L1 node
+    EXPECT_EQ(pt.nodeCount(), 4u);
+}
+
+TEST(RadixTable, UnmapPrunesEmptyNodes)
+{
+    RadixPageTable pt;
+    pt.map(0, 0);
+    pt.map(1ull << 27, 1); // a second full path
+    EXPECT_EQ(pt.nodeCount(), 6u);
+    pt.unmap(0);
+    EXPECT_EQ(pt.nodeCount(), 3u);
+    pt.unmap(1ull << 27);
+    EXPECT_EQ(pt.nodeCount(), 0u);
+    EXPECT_EQ(pt.size(), 0u);
+}
+
+TEST(RadixTable, SizeTracksMappings)
+{
+    RadixPageTable pt;
+    for (PageId p = 0; p < 100; ++p)
+        pt.map(p, p);
+    EXPECT_EQ(pt.size(), 100u);
+    for (PageId p = 0; p < 50; ++p)
+        pt.unmap(p);
+    EXPECT_EQ(pt.size(), 50u);
+    for (PageId p = 50; p < 100; ++p)
+        EXPECT_EQ(pt.lookup(p), p);
+}
+
+TEST(RadixTable, WalkVisitsEveryLevelOnHit)
+{
+    RadixPageTable pt;
+    pt.map(5, 9);
+    std::vector<unsigned> levels;
+    EXPECT_EQ(pt.walk(5, [&](unsigned l) { levels.push_back(l); }), 9u);
+    EXPECT_EQ(levels, (std::vector<unsigned>{4, 3, 2, 1}));
+}
+
+TEST(RadixTable, WalkStopsAtFirstAbsentEntry)
+{
+    RadixPageTable pt;
+    pt.map(5, 9);
+    std::vector<unsigned> levels;
+    // A page sharing no path with page 5: missing at level 4.
+    EXPECT_EQ(pt.walk(1ull << 27, [&](unsigned l) { levels.push_back(l); }),
+              kInvalidId);
+    EXPECT_EQ(levels, (std::vector<unsigned>{4}));
+}
+
+TEST(MultiLevelWalker, ColdWalkPaysFullDepth)
+{
+    StatRegistry stats;
+    RadixPageTable pt;
+    pt.map(5, 9);
+    MultiLevelWalkerConfig cfg;
+    MultiLevelWalker walker(pt, cfg, stats, "w");
+    const WalkResult r = walker.walk(5);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.frame, 9u);
+    EXPECT_EQ(r.latency, 4 * cfg.levelAccessCycles);
+}
+
+TEST(MultiLevelWalker, PwcAcceleratesWarmWalks)
+{
+    StatRegistry stats;
+    RadixPageTable pt;
+    pt.map(5, 9);
+    pt.map(6, 10);
+    MultiLevelWalkerConfig cfg;
+    MultiLevelWalker walker(pt, cfg, stats, "w");
+    walker.walk(5);
+    // Page 6 shares all upper levels with page 5: only the leaf access
+    // costs a full memory access.
+    const WalkResult r = walker.walk(6);
+    EXPECT_EQ(r.latency, 3 * cfg.pwcHitCycles + cfg.levelAccessCycles);
+    EXPECT_GT(walker.pwcHitRate(), 0.0);
+}
+
+TEST(MultiLevelWalker, FaultLatencyStopsAtMissingLevel)
+{
+    StatRegistry stats;
+    RadixPageTable pt;
+    pt.map(5, 9);
+    MultiLevelWalkerConfig cfg;
+    MultiLevelWalker walker(pt, cfg, stats, "w");
+    walker.walk(5); // warm the PWC
+    // Different level-4 subtree: one cold level-4 access, then stop.
+    const WalkResult r = walker.walk(1ull << 27);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.latency, cfg.levelAccessCycles);
+    EXPECT_EQ(stats.findCounter("w.faults").value(), 1u);
+}
+
+TEST(MultiLevelWalker, HitObserverFires)
+{
+    StatRegistry stats;
+    RadixPageTable pt;
+    pt.map(5, 9);
+    MultiLevelWalkerConfig cfg;
+    MultiLevelWalker walker(pt, cfg, stats, "w");
+    std::vector<PageId> observed;
+    walker.setHitObserver([&](PageId p) { observed.push_back(p); });
+    walker.walk(5);
+    walker.walk(99); // fault: no notification
+    EXPECT_EQ(observed, (std::vector<PageId>{5}));
+}
+
+TEST(UvmManager, RadixMirrorStaysInSync)
+{
+    StatRegistry stats;
+    LruPolicy lru;
+    UvmMemoryManager uvm(2, lru, stats, "uvm");
+    RadixPageTable radix;
+    uvm.setRadixMirror(&radix);
+    uvm.handleFault(1);
+    uvm.handleFault(2);
+    EXPECT_EQ(radix.size(), 2u);
+    uvm.handleFault(3); // evicts page 1
+    EXPECT_EQ(radix.size(), 2u);
+    EXPECT_FALSE(radix.resident(1));
+    EXPECT_TRUE(radix.resident(3));
+    EXPECT_EQ(radix.lookup(3), uvm.pageTable().lookup(3));
+}
+
+TEST(MultiLevelMode, TimingRunCompletes)
+{
+    const Trace t = buildApp("STN", 0.5);
+    RunConfig cfg;
+    cfg.gpu.walkerMode = WalkerMode::MultiLevel;
+    const auto r = runTiming(t, PolicyKind::Lru, cfg);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.faults, 0u);
+}
+
+TEST(MultiLevelMode, SameFaultShapeAsFixedLatency)
+{
+    // The walker design changes walk latency, not which pages fault; the
+    // fault counts should be close (small divergence from timing skew).
+    const Trace t = buildApp("HSD", 0.5);
+    RunConfig fixed, multi;
+    multi.gpu.walkerMode = WalkerMode::MultiLevel;
+    const auto a = runTiming(t, PolicyKind::Lru, fixed);
+    const auto b = runTiming(t, PolicyKind::Lru, multi);
+    EXPECT_NEAR(static_cast<double>(b.faults) / static_cast<double>(a.faults),
+                1.0, 0.15);
+}
+
+TEST(MultiLevelMode, PwcSeesTraffic)
+{
+    const Trace t = buildApp("MRQ");
+    RunConfig cfg;
+    cfg.gpu.walkerMode = WalkerMode::MultiLevel;
+    const auto run = runTimingInspect(t, PolicyKind::Hpe, cfg);
+    EXPECT_GT(run.stats->findCounter("gpu.walker.pwcHits").value(), 0u);
+    EXPECT_GT(run.stats->findCounter("gpu.walker.pwcMisses").value(), 0u);
+}
+
+TEST(MultiLevelMode, HpeStillBeatsLruOnThrash)
+{
+    const Trace t = buildApp("HSD", 0.5);
+    RunConfig cfg;
+    cfg.gpu.walkerMode = WalkerMode::MultiLevel;
+    const auto lru = runTiming(t, PolicyKind::Lru, cfg);
+    const auto hpe = runTiming(t, PolicyKind::Hpe, cfg);
+    EXPECT_GT(hpe.ipc, lru.ipc * 1.2);
+}
+
+} // namespace
+} // namespace hpe

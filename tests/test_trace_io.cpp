@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for trace serialization (save/load round trips, format errors).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/apps.hpp"
+#include "workload/trace_io.hpp"
+
+namespace hpe {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesVisits)
+{
+    Trace t("X", "xapp", "xsuite", PatternType::III);
+    t.add(0x10, 4);
+    t.add(0x2000, 8);
+    t.beginKernel();
+    t.add(0x10, 2);
+
+    std::stringstream ss;
+    saveTrace(t, ss);
+    const Trace back = loadTrace(ss);
+
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back.refs()[i].page, t.refs()[i].page);
+        EXPECT_EQ(back.refs()[i].burst, t.refs()[i].burst);
+    }
+}
+
+TEST(TraceIo, RoundTripPreservesIdentity)
+{
+    Trace t("AB", "app", "suite", PatternType::VI);
+    t.add(1);
+    std::stringstream ss;
+    saveTrace(t, ss);
+    const Trace back = loadTrace(ss);
+    EXPECT_EQ(back.abbr(), "AB");
+    EXPECT_EQ(back.application(), "app");
+    EXPECT_EQ(back.suite(), "suite");
+    EXPECT_EQ(back.pattern(), PatternType::VI);
+}
+
+TEST(TraceIo, RoundTripPreservesKernels)
+{
+    Trace t("X", "x", "s", PatternType::II);
+    for (int pass = 0; pass < 3; ++pass) {
+        t.beginKernel();
+        for (PageId p = 0; p < 5; ++p)
+            t.add(p);
+    }
+    std::stringstream ss;
+    saveTrace(t, ss);
+    const Trace back = loadTrace(ss);
+    EXPECT_EQ(back.kernelCount(), t.kernelCount());
+    for (std::size_t k = 0; k < t.kernelCount(); ++k)
+        EXPECT_EQ(back.kernelRange(k), t.kernelRange(k));
+}
+
+TEST(TraceIo, RoundTripOnGeneratedApp)
+{
+    const Trace t = buildApp("HSD", 0.25);
+    std::stringstream ss;
+    saveTrace(t, ss);
+    const Trace back = loadTrace(ss);
+    EXPECT_EQ(back.size(), t.size());
+    EXPECT_EQ(back.footprintPages(), t.footprintPages());
+    EXPECT_EQ(back.kernelCount(), t.kernelCount());
+    EXPECT_EQ(*back.canonicalPages(), *t.canonicalPages());
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream ss;
+    ss << "# a comment\n\n"
+       << "trace T t s I\n"
+       << "# another\n"
+       << "ff 4\n\n"
+       << "100 2\n";
+    const Trace t = loadTrace(ss);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.refs()[0].page, 0xffu);
+    EXPECT_EQ(t.refs()[0].burst, 4);
+    EXPECT_EQ(t.refs()[1].page, 0x100u);
+}
+
+TEST(TraceIo, BadHeaderIsFatal)
+{
+    std::stringstream ss;
+    ss << "nonsense line\n";
+    EXPECT_EXIT({ loadTrace(ss); }, ::testing::ExitedWithCode(1),
+                "bad trace header");
+}
+
+TEST(TraceIo, BadRecordIsFatal)
+{
+    std::stringstream ss;
+    ss << "trace T t s I\n"
+       << "zz zz zz\n";
+    EXPECT_EXIT({ loadTrace(ss); }, ::testing::ExitedWithCode(1),
+                "bad trace record");
+}
+
+TEST(TraceIo, BadPatternIsFatal)
+{
+    std::stringstream ss;
+    ss << "trace T t s VII\n";
+    EXPECT_EXIT({ loadTrace(ss); }, ::testing::ExitedWithCode(1),
+                "bad pattern type");
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const Trace t = buildApp("STN", 0.25);
+    const std::string path = ::testing::TempDir() + "/hpe_trace_io_test.trace";
+    saveTraceFile(t, path);
+    const Trace back = loadTraceFile(path);
+    EXPECT_EQ(back.size(), t.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    EXPECT_EXIT({ loadTraceFile("/nonexistent/path/x.trace"); },
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace hpe

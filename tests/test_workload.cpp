@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Tests for the workload module: trace mechanics, pattern-builder
+ * properties, and per-application invariants (parameterized over all 23
+ * applications of Table II).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "workload/apps.hpp"
+#include "workload/patterns.hpp"
+#include "workload/trace.hpp"
+
+namespace hpe {
+namespace {
+
+TEST(Trace, AddAndSize)
+{
+    Trace t("X", "x", "s", PatternType::I);
+    t.add(1);
+    t.add(2, 4);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.refs()[1].burst, 4);
+}
+
+TEST(Trace, FootprintCountsUniquePages)
+{
+    Trace t("X", "x", "s", PatternType::I);
+    t.add(1);
+    t.add(2);
+    t.add(1);
+    EXPECT_EQ(t.footprintPages(), 2u);
+}
+
+TEST(Trace, CanonicalPagesMatchesRefs)
+{
+    Trace t("X", "x", "s", PatternType::I);
+    t.add(5);
+    t.add(9);
+    auto pages = t.canonicalPages();
+    EXPECT_EQ(*pages, (std::vector<PageId>{5, 9}));
+}
+
+TEST(Trace, SingleKernelByDefault)
+{
+    Trace t("X", "x", "s", PatternType::I);
+    t.add(1);
+    t.add(2);
+    EXPECT_EQ(t.kernelCount(), 1u);
+    EXPECT_EQ(t.kernelRange(0), (std::pair<std::size_t, std::size_t>{0, 2}));
+}
+
+TEST(Trace, KernelBoundariesPartitionRefs)
+{
+    Trace t("X", "x", "s", PatternType::II);
+    t.beginKernel();
+    t.add(1);
+    t.add(2);
+    t.beginKernel();
+    t.add(3);
+    EXPECT_EQ(t.kernelCount(), 2u);
+    EXPECT_EQ(t.kernelRange(0), (std::pair<std::size_t, std::size_t>{0, 2}));
+    EXPECT_EQ(t.kernelRange(1), (std::pair<std::size_t, std::size_t>{2, 3}));
+}
+
+TEST(Trace, LeadingRefsBeforeFirstBoundaryFormAKernel)
+{
+    Trace t("X", "x", "s", PatternType::II);
+    t.add(1);
+    t.beginKernel();
+    t.add(2);
+    EXPECT_EQ(t.kernelCount(), 2u);
+    EXPECT_EQ(t.kernelRange(0), (std::pair<std::size_t, std::size_t>{0, 1}));
+}
+
+TEST(Trace, ConsecutiveBoundariesCollapse)
+{
+    Trace t("X", "x", "s", PatternType::II);
+    t.beginKernel();
+    t.beginKernel();
+    t.add(1);
+    EXPECT_EQ(t.kernelCount(), 1u);
+}
+
+TEST(Patterns, StreamVisitsEachPageOnce)
+{
+    Trace t("X", "x", "s", PatternType::I);
+    patterns::stream(t, 100, 8, 1);
+    EXPECT_EQ(t.size(), 8u);
+    EXPECT_EQ(t.refs().front().page, 100u);
+    EXPECT_EQ(t.refs().back().page, 107u);
+}
+
+TEST(Patterns, StreamWithRefsRepeatsBackToBack)
+{
+    Trace t("X", "x", "s", PatternType::I);
+    patterns::stream(t, 0, 3, 2);
+    std::vector<PageId> pages;
+    for (auto &r : t.refs())
+        pages.push_back(r.page);
+    EXPECT_EQ(pages, (std::vector<PageId>{0, 0, 1, 1, 2, 2}));
+}
+
+TEST(Patterns, ThrashRepeatsAndMarksKernels)
+{
+    Trace t("X", "x", "s", PatternType::II);
+    patterns::thrash(t, 0, 10, 3);
+    EXPECT_EQ(t.size(), 30u);
+    EXPECT_EQ(t.kernelCount(), 3u);
+    EXPECT_EQ(t.footprintPages(), 10u);
+}
+
+TEST(Patterns, StridedSweepSkipsPages)
+{
+    Trace t("X", "x", "s", PatternType::IV);
+    patterns::stridedSweep(t, 0, 16, 4, 1, 1);
+    std::vector<PageId> pages;
+    for (auto &r : t.refs())
+        pages.push_back(r.page);
+    EXPECT_EQ(pages, (std::vector<PageId>{0, 4, 8, 12}));
+}
+
+TEST(Patterns, EvenOddPhasesSeparateParities)
+{
+    Trace t("X", "x", "s", PatternType::IV);
+    patterns::evenOddPhases(t, 0, 6, 1, 1);
+    std::vector<PageId> pages;
+    for (auto &r : t.refs())
+        pages.push_back(r.page);
+    EXPECT_EQ(pages, (std::vector<PageId>{0, 2, 4, 1, 3, 5}));
+    EXPECT_EQ(t.kernelCount(), 2u);
+}
+
+TEST(Patterns, RegionMovingCoversAllRegionsInOrder)
+{
+    Trace t("X", "x", "s", PatternType::VI);
+    patterns::regionMoving(t, 0, 40, 4, 2, 1);
+    // Region r pages = [10r, 10r+10); once a later region starts, earlier
+    // pages never reappear.
+    PageId max_region_seen = 0;
+    for (auto &r : t.refs()) {
+        const PageId region = r.page / 10;
+        EXPECT_GE(region + 1, max_region_seen + 1 - 1);
+        max_region_seen = std::max(max_region_seen, region);
+        EXPECT_EQ(region, max_region_seen); // never revisit older regions
+    }
+    EXPECT_EQ(t.footprintPages(), 40u);
+}
+
+TEST(Patterns, PartRepetitiveBlocksKeepsBlockUniformCounts)
+{
+    Trace t("X", "x", "s", PatternType::III);
+    Rng rng(5);
+    patterns::partRepetitiveBlocks(t, 0, 160, 16, 0.5, 1, rng);
+    std::map<PageId, int> counts;
+    for (auto &r : t.refs())
+        ++counts[r.page];
+    // Within every 16-page block all pages have the same count.
+    for (PageId block = 0; block < 10; ++block) {
+        const int c0 = counts[block * 16];
+        for (PageId off = 1; off < 16; ++off)
+            EXPECT_EQ(counts[block * 16 + off], c0) << "block " << block;
+    }
+}
+
+TEST(Patterns, PartRepetitivePagesProducesVaryingCounts)
+{
+    Trace t("X", "x", "s", PatternType::III);
+    Rng rng(5);
+    patterns::partRepetitivePages(t, 0, 320, 0.5, 3, 16, rng);
+    std::map<PageId, int> counts;
+    for (auto &r : t.refs())
+        ++counts[r.page];
+    std::set<int> distinct;
+    for (auto &[p, c] : counts)
+        distinct.insert(c);
+    EXPECT_GE(distinct.size(), 3u); // 1..4 visits occur
+    EXPECT_EQ(t.footprintPages(), 320u);
+}
+
+TEST(Patterns, FrontierLevelsStaysInRange)
+{
+    Trace t("X", "x", "s", PatternType::IV);
+    Rng rng(9);
+    patterns::frontierLevels(t, 0, 200, 3, 0.4, rng);
+    for (auto &r : t.refs())
+        EXPECT_LT(r.page, 200u);
+    EXPECT_EQ(t.kernelCount(), 3u);
+}
+
+TEST(Patterns, SkewedRandomConcentratesOnHotPages)
+{
+    Trace t("X", "x", "s", PatternType::V);
+    Rng rng(3);
+    patterns::skewedRandom(t, 0, 1000, 10000, 0.1, 0.6, rng);
+    std::size_t hot_hits = 0;
+    for (auto &r : t.refs())
+        hot_hits += r.page < 100 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hot_hits) / 10000.0, 0.6, 0.05);
+}
+
+TEST(Apps, TwentyThreeApplications)
+{
+    EXPECT_EQ(appSpecs().size(), 23u);
+}
+
+TEST(Apps, ExtraElidedApplicationsBuild)
+{
+    EXPECT_EQ(extraAppSpecs().size(), 4u);
+    for (const AppSpec &spec : extraAppSpecs()) {
+        const Trace t = buildApp(spec.abbr);
+        EXPECT_GT(t.size(), 0u) << spec.abbr;
+        EXPECT_EQ(t.pattern(), spec.type) << spec.abbr;
+        EXPECT_GE(t.footprintPages(), 64u) << spec.abbr;
+    }
+}
+
+TEST(Apps, ExtraAppsNotInTableTwo)
+{
+    for (const AppSpec &extra : extraAppSpecs())
+        for (const AppSpec &main_app : appSpecs())
+            EXPECT_STRNE(extra.abbr, main_app.abbr);
+}
+
+TEST(Apps, MyocyteFootprintIsTiny)
+{
+    // "Too small footprint" is why the paper elided it.
+    EXPECT_LT(buildApp("MYO").footprintPages(), 256u);
+}
+
+TEST(Apps, WriteFractionsAssigned)
+{
+    EXPECT_GT(buildApp("HSD").writeFraction(), 0.4);
+    EXPECT_LT(buildApp("SPV").writeFraction(), 0.2);
+}
+
+TEST(Apps, LookupByAbbreviation)
+{
+    EXPECT_STREQ(appSpec("HSD").name, "hotspot3D");
+    EXPECT_EQ(appSpec("MVT").type, PatternType::IV);
+}
+
+TEST(Apps, PatternTypeCountsMatchTableII)
+{
+    std::map<PatternType, int> per_type;
+    for (const AppSpec &s : appSpecs())
+        ++per_type[s.type];
+    EXPECT_EQ(per_type[PatternType::I], 5);
+    EXPECT_EQ(per_type[PatternType::II], 4);
+    EXPECT_EQ(per_type[PatternType::III], 5);
+    EXPECT_EQ(per_type[PatternType::IV], 3);
+    EXPECT_EQ(per_type[PatternType::V], 4);
+    EXPECT_EQ(per_type[PatternType::VI], 2);
+}
+
+TEST(Apps, NwTouchesEvenPagesBeforeOdd)
+{
+    const Trace t = buildApp("NW");
+    // The first half of the first phase touches only even pages.
+    for (std::size_t i = 0; i < 50; ++i)
+        EXPECT_EQ(t.refs()[i].page % 2, 0u) << "ref " << i;
+}
+
+TEST(Apps, MvtTouchesStrideFourPagesOnly)
+{
+    const Trace t = buildApp("MVT");
+    for (auto &r : t.refs())
+        EXPECT_EQ(r.page % 4, 0u);
+}
+
+TEST(Apps, HsdHasSixThrashPasses)
+{
+    const Trace t = buildApp("HSD");
+    EXPECT_EQ(t.kernelCount(), 6u);
+    EXPECT_EQ(t.size(), 6 * t.footprintPages());
+}
+
+TEST(Apps, ScaleGrowsFootprint)
+{
+    const Trace small = buildApp("HOT", 0.5);
+    const Trace big = buildApp("HOT", 2.0);
+    EXPECT_LT(small.footprintPages(), big.footprintPages());
+    EXPECT_NEAR(static_cast<double>(big.footprintPages())
+                    / static_cast<double>(small.footprintPages()),
+                4.0, 0.2);
+}
+
+/** Per-application invariants, parameterized over all 23 apps. */
+class AppTraceTest : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(AppTraceTest, NonEmptyAndPageSetAligned)
+{
+    const Trace t = buildApp(GetParam());
+    EXPECT_GT(t.size(), 0u);
+    EXPECT_GT(t.footprintPages(), 63u);
+    EXPECT_EQ(appSpec(GetParam()).type, t.pattern());
+}
+
+TEST_P(AppTraceTest, DeterministicForEqualSeeds)
+{
+    const Trace a = buildApp(GetParam(), 1.0, 7);
+    const Trace b = buildApp(GetParam(), 1.0, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.refs()[i].page, b.refs()[i].page);
+}
+
+TEST_P(AppTraceTest, PagesWithinFootprintRange)
+{
+    const Trace t = buildApp(GetParam());
+    PageId max_page = 0;
+    for (auto &r : t.refs())
+        max_page = std::max(max_page, r.page);
+    // Pages are dense-ish: the top page is within 4x of the unique count.
+    EXPECT_LT(max_page, 4 * t.footprintPages() + 64);
+}
+
+TEST_P(AppTraceTest, KernelRangesCoverTraceExactly)
+{
+    const Trace t = buildApp(GetParam());
+    std::size_t covered = 0;
+    for (std::size_t k = 0; k < t.kernelCount(); ++k) {
+        const auto [b, e] = t.kernelRange(k);
+        EXPECT_EQ(b, covered);
+        EXPECT_LE(e, t.size());
+        covered = e;
+    }
+    EXPECT_EQ(covered, t.size());
+}
+
+TEST_P(AppTraceTest, BurstsArePositive)
+{
+    const Trace t = buildApp(GetParam());
+    for (auto &r : t.refs())
+        EXPECT_GT(r.burst, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AppTraceTest,
+    ::testing::Values("HOT", "LEU", "CUT", "2DC", "GEM", "SRD", "HSD", "MRQ",
+                      "STN", "PAT", "DWT", "BKP", "KMN", "SAD", "NW", "BFS",
+                      "MVT", "HWL", "SGM", "HIS", "SPV", "B+T", "HYB"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '+')
+                c = 'p';
+        return name;
+    });
+
+} // namespace
+} // namespace hpe

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * hpe_sim — the command-line front end.  All logic lives in
+ * src/cli/commands.cpp so it is unit-testable; this is just main().
+ */
+
+#include <iostream>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const hpe::cli::Args args = hpe::cli::Args::parse(argc, argv);
+    return hpe::cli::dispatch(args, std::cout);
+}
