@@ -1,6 +1,8 @@
 #include "cli/commands.hpp"
 
 #include <ostream>
+#include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
@@ -44,7 +46,44 @@ commonOptions(const Args &args)
             static_cast<unsigned>(args.getUint("prefetch", 0));
     if (args.has("multi-level-walker"))
         opt.cfg.gpu.walkerMode = WalkerMode::MultiLevel;
+
+    // Chaos mode: any --chaos-* option arms the injector; --chaos-seed
+    // alone replays the default event mix under a chosen seed.
+    ChaosConfig &chaos = opt.cfg.gpu.chaos;
+    chaos.enabled = args.has("chaos-seed") || args.has("chaos-pcie-fail")
+                    || args.has("chaos-pcie-stall")
+                    || args.has("chaos-service-timeout")
+                    || args.has("chaos-shootdown-drop")
+                    || args.has("chaos-walk-error");
+    if (chaos.enabled) {
+        chaos.seed = args.getUint("chaos-seed", seed);
+        chaos.pcieFailProb = args.getDouble("chaos-pcie-fail", 0.0);
+        chaos.pcieStallProb = args.getDouble("chaos-pcie-stall", 0.0);
+        chaos.serviceTimeoutProb = args.getDouble("chaos-service-timeout", 0.0);
+        chaos.shootdownDropProb = args.getDouble("chaos-shootdown-drop", 0.0);
+        chaos.walkErrorProb = args.getDouble("chaos-walk-error", 0.0);
+        chaos.validate();
+    }
+    if (args.has("degrade"))
+        opt.cfg.gpu.degradation.enabled = true;
+    if (args.has("validate"))
+        opt.cfg.gpu.validate = true;
     return opt;
+}
+
+/** The chaos/resilience options shared by run and compare. */
+const std::vector<std::string> kChaosOptions = {
+    "chaos-seed",          "chaos-pcie-fail",     "chaos-pcie-stall",
+    "chaos-service-timeout", "chaos-shootdown-drop", "chaos-walk-error",
+    "degrade",             "validate",
+};
+
+/** @return @p base extended with the chaos/resilience options. */
+std::vector<std::string>
+withChaosOptions(std::vector<std::string> base)
+{
+    base.insert(base.end(), kChaosOptions.begin(), kChaosOptions.end());
+    return base;
 }
 
 } // namespace
@@ -52,9 +91,10 @@ commonOptions(const Args &args)
 int
 runCommand(const Args &args, std::ostream &os)
 {
-    args.allowOnly({"app", "policy", "oversub", "scale", "seed", "functional",
-                    "csv", "stats", "walk-latency", "prefetch",
-                    "multi-level-walker"});
+    args.allowOnly(withChaosOptions({"app", "policy", "oversub", "scale",
+                                     "seed", "functional", "csv", "stats",
+                                     "walk-latency", "prefetch",
+                                     "multi-level-walker"}));
     const auto opt = commonOptions(args);
     const PolicyKind kind = policyByName(args.get("policy", "HPE"));
     const bool functional = args.has("functional");
@@ -94,7 +134,8 @@ runCommand(const Args &args, std::ostream &os)
 int
 compareCommand(const Args &args, std::ostream &os)
 {
-    args.allowOnly({"app", "oversub", "scale", "seed", "extended", "csv"});
+    args.allowOnly(withChaosOptions(
+        {"app", "oversub", "scale", "seed", "extended", "csv"}));
     const auto opt = commonOptions(args);
     const auto &kinds =
         args.has("extended") ? extendedPolicyKinds() : allPolicyKinds();
@@ -163,8 +204,13 @@ printUsage(std::ostream &os)
           "           --app HSD --policy HPE --oversub 0.75 [--functional]\n"
           "           [--scale 1.0] [--seed 1] [--csv] [--stats]\n"
           "           [--walk-latency 8] [--prefetch N] [--multi-level-walker]\n"
+          "           [--validate] [--degrade] [--chaos-seed N]\n"
+          "           [--chaos-pcie-fail P] [--chaos-pcie-stall P]\n"
+          "           [--chaos-service-timeout P] [--chaos-shootdown-drop P]\n"
+          "           [--chaos-walk-error P]\n"
           "  compare  every policy on one app\n"
           "           --app HSD [--oversub 0.75] [--extended] [--csv]\n"
+          "           [chaos options as for run]\n"
           "  trace    write an application's page-visit trace to a file\n"
           "           --app HSD --out hsd.trace\n"
           "  list     available applications and policies\n";

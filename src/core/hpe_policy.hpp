@@ -54,6 +54,12 @@ class HpePolicy : public EvictionPolicy
     void onMigrateIn(PageId page) override;
     std::string name() const override { return "HPE"; }
 
+    std::optional<std::vector<PageId>>
+    trackedResidentPages() const override
+    {
+        return std::vector<PageId>(resident_.begin(), resident_.end());
+    }
+
     /** @{ introspection for benches and tests */
     const HpeConfig &config() const { return cfg_; }
     PageSetChain &chain() { return chain_; }

@@ -14,6 +14,13 @@
  *    triggering fault's completion accordingly (§V-B);
  *  - wakes every waiting warp when the page becomes resident (the
  *    replayable far-fault mechanism re-runs their translations).
+ *
+ * Under chaos mode (setInjector) a fault service can time out or its
+ * migration transfer can fail before the page is made resident.  Both are
+ * replayed through the same completion event after a bounded exponential
+ * backoff (DriverConfig::retry); when the attempt budget is exhausted the
+ * driver escalates to the reliable slow path and services the fault
+ * unconditionally, so a fault can be delayed but never lost.
  */
 
 #pragma once
@@ -27,10 +34,12 @@
 #include <vector>
 
 #include "common/event_queue.hpp"
+#include "common/fault_injector.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/hpe_policy.hpp"
 #include "driver/pcie.hpp"
+#include "driver/resilience.hpp"
 #include "driver/uvm_manager.hpp"
 
 namespace hpe {
@@ -70,6 +79,9 @@ struct DriverConfig
 
     /** Flush a partial batch after this long. */
     Cycle batchTimeoutCycles = microsToCycles(5.0);
+
+    /** Backoff schedule for timed-out / failed fault services (chaos). */
+    RetryPolicy retry{};
 };
 
 /** Serialized fault-service engine on the host CPU. */
@@ -92,11 +104,29 @@ class GpuDriver
               EventQueue &eq, StatRegistry &stats, const std::string &name,
               HpePolicy *hpe = nullptr)
         : cfg_(cfg), uvm_(uvm), pcie_(pcie), eq_(eq), hpe_(hpe),
+          stats_(stats), name_(name),
           serviced_(stats.counter(name + ".faultsServiced")),
           merged_(stats.counter(name + ".faultsMerged")),
           prefetched_(stats.counter(name + ".pagesPrefetched")),
           queueDepth_(stats.distribution(name + ".queueDepth"))
     {}
+
+    /**
+     * Attach a chaos injector: fault services may now time out or have
+     * their migration transfer fail, entering the retry path.  The retry
+     * counters are registered lazily here so an uninjected driver's stat
+     * tree is unchanged.
+     */
+    void
+    setInjector(FaultInjector *injector)
+    {
+        injector_ = injector;
+        if (injector_ != nullptr && serviceReplays_ == nullptr) {
+            serviceReplays_ = &stats_.counter(name_ + ".serviceReplays");
+            migrationRetries_ = &stats_.counter(name_ + ".migrationRetries");
+            retriesExhausted_ = &stats_.counter(name_ + ".retriesExhausted");
+        }
+    }
 
     /**
      * A translation for @p page faulted; @p wakeup fires once the page is
@@ -162,13 +192,49 @@ class GpuDriver
         }
     }
 
+    /**
+     * Chaos gate in front of the functional fault service.  Runs before
+     * handleFault so a replayed fault finds the page still non-resident.
+     * @return true to proceed with the service; false when a retry of
+     *         complete() was scheduled instead.
+     */
+    bool
+    admitService(PageId page)
+    {
+        const bool timed_out = injector_->serviceTimesOut();
+        const bool xfer_failed = !timed_out && injector_->pcieTransferFails();
+        if (!timed_out && !xfer_failed)
+            return true;
+        const unsigned attempt = ++attempts_[page];
+        if (attempt > cfg_.retry.maxAttempts) {
+            // Attempt budget exhausted: escalate to the reliable slow
+            // path and service the fault regardless — delayed, not lost.
+            ++*retriesExhausted_;
+            return true;
+        }
+        if (timed_out)
+            ++*serviceReplays_;
+        else
+            ++*migrationRetries_;
+        // The host core re-issues the service after backing off.
+        busyCycles_ += cfg_.serviceInitiationCycles;
+        eq_.scheduleIn(cfg_.retry.backoff(attempt),
+                       [this, page] { complete(page); });
+        return false;
+    }
+
     void
     complete(PageId page)
     {
+        if (injector_ != nullptr) {
+            if (!admitService(page))
+                return;
+            attempts_.erase(page);
+        }
         const FaultOutcome outcome = uvm_.handleFault(page);
         ++serviced_;
 
-        Cycle done = eq_.now();
+        Cycle done = eq_.now() + outcome.throttleCycles;
         // A dirty victim is written back to host memory over PCIe (a
         // clean page is simply dropped — the host copy is current).
         if (outcome.evicted && outcome.victimDirty)
@@ -212,12 +278,22 @@ class GpuDriver
     PcieLink &pcie_;
     EventQueue &eq_;
     HpePolicy *hpe_;
+    StatRegistry &stats_;
+    std::string name_;
 
     std::deque<PageId> queue_;
     std::unordered_map<PageId, std::vector<Wakeup>> waiters_;
     Cycle nextStart_ = 0;
     Cycle busyCycles_ = 0;
     bool flushTimerArmed_ = false;
+
+    /** @{ chaos retry path (active only when an injector attaches) */
+    FaultInjector *injector_ = nullptr;
+    std::unordered_map<PageId, unsigned> attempts_;
+    Counter *serviceReplays_ = nullptr;
+    Counter *migrationRetries_ = nullptr;
+    Counter *retriesExhausted_ = nullptr;
+    /** @} */
 
     Counter &serviced_;
     Counter &merged_;

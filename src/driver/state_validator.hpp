@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Cross-layer invariant checker for the UVM driver stack.
+ *
+ * After every fault service the residency story is told three times: by
+ * the page table (page -> frame), by the frame pool (free list), and by
+ * the eviction policy's internal bookkeeping (LRU list, HPE page-set
+ * chain, ...).  A bug in any one layer silently skews the paper's
+ * headline numbers long before it crashes.  The validator cross-checks
+ * all three after every fault service and prefetch and panics with a
+ * diagnostic dump on the first disagreement, so a corruption is caught
+ * at the faulting event rather than thousands of events downstream.
+ *
+ * Checked invariants:
+ *
+ *  1. frame conservation: resident pages + free frames == capacity;
+ *  2. frame sanity: every mapped frame is in range and mapped once;
+ *  3. dirty set: every dirty page is resident;
+ *  4. policy agreement: policies exposing trackedResidentPages() track
+ *     exactly the page table's key set;
+ *  5. HPE internals: every chain entry sits in the partition list its
+ *     tag claims, and HIR occupancy respects the configured geometry.
+ *
+ * Attach via UvmMemoryManager::setValidateHook; tests keep it always on,
+ * the CLI arms it behind --validate (it walks the full resident set per
+ * fault, so it is not free).
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/hpe_policy.hpp"
+#include "driver/uvm_manager.hpp"
+
+namespace hpe {
+
+/** Page-table / frame-pool / policy cross-checker. */
+class StateValidator
+{
+  public:
+    /**
+     * @param uvm   the manager whose layers are cross-checked (not owned).
+     * @param stats registry receiving "<name>.checks".
+     * @param name  stat prefix, e.g. "validator".
+     */
+    StateValidator(UvmMemoryManager &uvm, StatRegistry &stats,
+                   const std::string &name = "validator")
+        : uvm_(uvm), checks_(stats.counter(name + ".checks"))
+    {}
+
+    /** Run all invariants; panic with a diagnostic dump on violation. */
+    void
+    check()
+    {
+        ++checks_;
+        checkFrames();
+        checkDirty();
+        checkPolicy();
+        if (auto *hpe = dynamic_cast<HpePolicy *>(&uvm_.policy()))
+            checkHpe(*hpe);
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        std::string dump = strformat(
+            "state validator: {}\n"
+            "  resident pages: {}\n  free frames: {}\n  capacity: {}\n"
+            "  dirty pages: {}\n  policy: {}",
+            what, uvm_.residentPages(), uvm_.frames().freeCount(),
+            uvm_.capacity(), uvm_.dirtyPages().size(), uvm_.policy().name());
+        panic("{}", dump);
+    }
+
+    void
+    checkFrames() const
+    {
+        const auto &frames = uvm_.frames();
+        if (uvm_.residentPages() + frames.freeCount() != frames.capacity())
+            fail(strformat("frame conservation broken: {} resident + {} free "
+                           "!= {} capacity", uvm_.residentPages(),
+                           frames.freeCount(), frames.capacity()));
+        std::vector<std::uint8_t> used(frames.capacity(), 0);
+        uvm_.pageTable().forEach([&](PageId page, FrameId frame) {
+            if (frame >= frames.capacity())
+                fail(strformat("page {:#x} mapped to out-of-range frame {}",
+                               page, frame));
+            if (used[frame]++)
+                fail(strformat("frame {} mapped twice (second page {:#x})",
+                               frame, page));
+        });
+    }
+
+    void
+    checkDirty() const
+    {
+        for (PageId page : uvm_.dirtyPages())
+            if (!uvm_.pageTable().resident(page))
+                fail(strformat("dirty page {:#x} is not resident", page));
+    }
+
+    void
+    checkPolicy() const
+    {
+        auto tracked = uvm_.policy().trackedResidentPages();
+        if (!tracked)
+            return; // policy offers no residency introspection
+        if (tracked->size() != uvm_.residentPages())
+            fail(strformat("policy tracks {} resident pages, page table "
+                           "holds {}", tracked->size(), uvm_.residentPages()));
+        std::sort(tracked->begin(), tracked->end());
+        if (std::adjacent_find(tracked->begin(), tracked->end())
+            != tracked->end())
+            fail("policy resident set contains a duplicate page");
+        for (PageId page : *tracked)
+            if (!uvm_.pageTable().resident(page))
+                fail(strformat("policy tracks page {:#x} the page table "
+                               "does not hold", page));
+        // Same cardinality, no duplicates, tracked <= table  =>  equal sets.
+    }
+
+    void
+    checkHpe(HpePolicy &hpe) const
+    {
+        auto &chain = hpe.chain();
+        const Partition parts[] = {Partition::Old, Partition::Middle,
+                                   Partition::New};
+        std::size_t walked = 0;
+        for (Partition p : parts) {
+            for (const ChainEntry &entry : chain.partition(p)) {
+                ++walked;
+                if (entry.part != p)
+                    fail(strformat("HPE chain entry for set {:#x} tagged "
+                                   "partition {} but linked in partition {}",
+                                   entry.set, static_cast<int>(entry.part),
+                                   static_cast<int>(p)));
+                if (ChainEntry *found = chain.find(entry.set, entry.secondary);
+                    found != &entry)
+                    fail(strformat("HPE chain index lookup of set {:#x} "
+                                   "does not return the linked entry",
+                                   entry.set));
+            }
+        }
+        if (walked != chain.size())
+            fail(strformat("HPE chain lists link {} entries, index holds {}",
+                           walked, chain.size()));
+        const auto &cfg = hpe.config();
+        if (hpe.hir().occupancy() > cfg.hirEntries)
+            fail(strformat("HIR occupancy {} exceeds configured geometry {}",
+                           hpe.hir().occupancy(), cfg.hirEntries));
+    }
+
+    UvmMemoryManager &uvm_;
+    Counter &checks_;
+};
+
+} // namespace hpe

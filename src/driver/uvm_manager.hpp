@@ -8,17 +8,34 @@
  * functional paging simulator and the timing GPU driver funnel every page
  * fault through handleFault(), which enforces the policy call protocol:
  * onFault -> selectVictim/onEvict (if memory is full) -> map/onMigrateIn.
+ *
+ * Two optional resilience attachments hang off this funnel:
+ *
+ *  - graceful degradation (enableDegradation): a refault-rate thrashing
+ *    detector that, while tripped, throttles fault completion and softly
+ *    pins the hottest resident pages (refreshing them into the policy so
+ *    every policy benefits without protocol changes);
+ *  - a validation hook (setValidateHook), run after every fault service
+ *    and prefetch, through which the cross-layer StateValidator checks
+ *    page table <-> frame pool <-> policy bookkeeping agreement.
+ *
+ * Neither is attached by default and the default path is unchanged.
  */
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "driver/resilience.hpp"
 #include "mem/page_table.hpp"
 #include "mem/radix_page_table.hpp"
 #include "policy/eviction_policy.hpp"
@@ -33,6 +50,8 @@ struct FaultOutcome
     /** The victim had been written: it must be written back over PCIe. */
     bool victimDirty = false;
     FrameId frame = kInvalidId;
+    /** Extra completion latency while degraded (throttled eviction pump). */
+    Cycle throttleCycles = 0;
 };
 
 /** Page table + frame pool + eviction policy, with the driver protocol. */
@@ -41,6 +60,8 @@ class UvmMemoryManager
   public:
     /** Invoked with each evicted page (TLB/cache shootdown hook). */
     using EvictHook = std::function<void(PageId)>;
+    /** Invoked after every fault service / prefetch (invariant checking). */
+    using ValidateHook = std::function<void()>;
 
     /**
      * @param num_frames GPU memory capacity in pages.
@@ -50,7 +71,7 @@ class UvmMemoryManager
      */
     UvmMemoryManager(std::size_t num_frames, EvictionPolicy &policy,
                      StatRegistry &stats, const std::string &name)
-        : policy_(policy), frames_(num_frames),
+        : policy_(policy), frames_(num_frames), stats_(stats), name_(name),
           faults_(stats.counter(name + ".faults")),
           evictions_(stats.counter(name + ".evictions")),
           hits_(stats.counter(name + ".hits")),
@@ -67,6 +88,8 @@ class UvmMemoryManager
     recordHit(PageId page)
     {
         ++hits_;
+        if (detector_ != nullptr)
+            lastTouch_[page] = ++touchClock_;
         policy_.onHit(page);
     }
 
@@ -89,21 +112,29 @@ class UvmMemoryManager
     {
         HPE_ASSERT(!table_.resident(page), "fault on resident page {:#x}", page);
         ++faults_;
-        if (evictedOnce_.contains(page))
+        const bool is_refault = evictedOnce_.contains(page);
+        if (is_refault)
             ++refaults_; // a page the policy once evicted came back
         policy_.onFault(page);
 
         FaultOutcome out;
         if (frames_.full()) {
-            const PageId victim = policy_.selectVictim();
+            PageId victim = policy_.selectVictim();
             HPE_ASSERT(table_.resident(victim),
                        "policy chose non-resident victim {:#x}", victim);
+            if (detector_ != nullptr && pinned_.erase(victim) > 0) {
+                // The policy insisted on a pinned page: the pin is soft —
+                // it breaks rather than deadlock a full frame pool.
+                ++*pinnedVictimOverrides_;
+            }
             frames_.release(table_.unmap(victim));
             if (radixMirror_ != nullptr)
                 radixMirror_->unmap(victim);
             policy_.onEvict(victim);
             ++evictions_;
             evictedOnce_.insert(victim);
+            if (detector_ != nullptr)
+                lastTouch_.erase(victim);
             out.evicted = true;
             out.victim = victim;
             out.victimDirty = dirty_.erase(victim) > 0;
@@ -117,6 +148,24 @@ class UvmMemoryManager
         if (radixMirror_ != nullptr)
             radixMirror_->map(page, out.frame);
         policy_.onMigrateIn(page);
+
+        if (detector_ != nullptr) {
+            lastTouch_[page] = ++touchClock_;
+            switch (detector_->onFault(is_refault)) {
+              case DegradationEvent::Entered:
+                applyPinning();
+                break;
+              case DegradationEvent::Exited:
+                pinned_.clear();
+                break;
+              case DegradationEvent::None:
+                break;
+            }
+            if (detector_->degraded())
+                out.throttleCycles = detector_->config().throttleCycles;
+        }
+        if (validateHook_)
+            validateHook_();
         return out;
     }
 
@@ -135,7 +184,11 @@ class UvmMemoryManager
         if (radixMirror_ != nullptr)
             radixMirror_->map(page, frame);
         policy_.onMigrateIn(page);
+        if (detector_ != nullptr)
+            lastTouch_[page] = ++touchClock_;
         ++prefetches_;
+        if (validateHook_)
+            validateHook_();
     }
 
     std::uint64_t prefetches() const { return prefetches_.value(); }
@@ -158,8 +211,37 @@ class UvmMemoryManager
 
     void setEvictHook(EvictHook hook) { evictHook_ = std::move(hook); }
 
+    /** Run @p hook after every fault service and prefetch. */
+    void setValidateHook(ValidateHook hook) { validateHook_ = std::move(hook); }
+
+    /**
+     * Arm graceful degradation: a thrashing detector over the refault
+     * stream that throttles fault completion and softly pins the hottest
+     * pages while tripped.  Stats land under "<name of this manager>.degraded.*".
+     */
+    void
+    enableDegradation(const DegradationConfig &cfg)
+    {
+        HPE_ASSERT(detector_ == nullptr, "degradation enabled twice");
+        detector_ = std::make_unique<ThrashingDetector>(cfg, stats_,
+                                                        name_ + ".degraded");
+        pinnedPages_ = &stats_.counter(name_ + ".degraded.pinnedPages");
+        pinnedVictimOverrides_ =
+            &stats_.counter(name_ + ".degraded.pinnedVictimOverrides");
+    }
+
+    /** @{ degradation introspection (null/empty when not enabled) */
+    const ThrashingDetector *degradation() const { return detector_.get(); }
+    bool degraded() const { return detector_ != nullptr && detector_->degraded(); }
+    bool pinnedPage(PageId page) const { return pinned_.contains(page); }
+    std::size_t pinnedCount() const { return pinned_.size(); }
+    /** @} */
+
     const PageTable &pageTable() const { return table_; }
     PageTable &pageTable() { return table_; }
+    const FrameAllocator &frames() const { return frames_; }
+    EvictionPolicy &policy() { return policy_; }
+    const std::unordered_set<PageId> &dirtyPages() const { return dirty_; }
     std::size_t capacity() const { return frames_.capacity(); }
     std::size_t residentPages() const { return table_.size(); }
 
@@ -170,13 +252,59 @@ class UvmMemoryManager
     std::uint64_t dirtyEvictions() const { return dirtyEvictions_.value(); }
 
   private:
+    /**
+     * Degraded-mode entry: pin the hottest resident pages (most recently
+     * touched) and refresh them into the policy, coldest first, so the
+     * hottest page ends at the policy's MRU position.  The refresh is
+     * ordinary reference information, so it works for every policy
+     * without extending the protocol; pins are soft (see handleFault).
+     */
+    void
+    applyPinning()
+    {
+        const auto want = static_cast<std::size_t>(
+            static_cast<double>(frames_.capacity())
+            * detector_->config().pinFraction);
+        if (want == 0)
+            return;
+        std::vector<std::pair<std::uint64_t, PageId>> hot;
+        hot.reserve(lastTouch_.size());
+        for (const auto &[page, touch] : lastTouch_)
+            if (table_.resident(page))
+                hot.emplace_back(touch, page);
+        const std::size_t count = std::min(want, hot.size());
+        if (count == 0)
+            return;
+        std::partial_sort(hot.begin(), hot.begin() + count, hot.end(),
+                          std::greater<>());
+        pinned_.clear();
+        for (std::size_t i = count; i-- > 0;) {
+            pinned_.insert(hot[i].second);
+            policy_.onHit(hot[i].second);
+        }
+        *pinnedPages_ += count;
+    }
+
     EvictionPolicy &policy_;
     PageTable table_;
     FrameAllocator frames_;
+    StatRegistry &stats_;
+    std::string name_;
     EvictHook evictHook_;
+    ValidateHook validateHook_;
     RadixPageTable *radixMirror_ = nullptr;
     std::unordered_set<PageId> evictedOnce_;
     std::unordered_set<PageId> dirty_;
+
+    /** @{ graceful degradation (allocated by enableDegradation only) */
+    std::unique_ptr<ThrashingDetector> detector_;
+    std::unordered_set<PageId> pinned_;
+    std::unordered_map<PageId, std::uint64_t> lastTouch_;
+    std::uint64_t touchClock_ = 0;
+    Counter *pinnedPages_ = nullptr;
+    Counter *pinnedVictimOverrides_ = nullptr;
+    /** @} */
+
     Counter &faults_;
     Counter &evictions_;
     Counter &hits_;

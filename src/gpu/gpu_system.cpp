@@ -36,6 +36,23 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const Trace &trace,
 
     uvm_.setEvictHook([this](PageId page) { onEvictPage(page); });
 
+    // Chaos mode: one injector shared by every injection site.  Nothing
+    // is constructed (and no extra stat is registered) when disabled, so
+    // the default stat tree stays byte-identical.
+    if (cfg_.chaos.enabled) {
+        injector_ = std::make_unique<FaultInjector>(cfg_.chaos, stats, "chaos");
+        pcie_.setInjector(injector_.get());
+        driver_.setInjector(injector_.get());
+        walkRetries_ = &stats.counter("gpu.walkRetries");
+        shootdownReissues_ = &stats.counter("gpu.shootdownReissues");
+    }
+    if (cfg_.degradation.enabled)
+        uvm_.enableDegradation(cfg_.degradation);
+    if (cfg_.validate) {
+        validator_ = std::make_unique<StateValidator>(uvm_, stats, "validator");
+        uvm_.setValidateHook([this] { validator_->check(); });
+    }
+
     sms_.resize(cfg_.numSms);
     for (unsigned s = 0; s < cfg_.numSms; ++s) {
         sms_[s].l1Tlb = std::make_unique<Tlb>(cfg_.l1Tlb, stats,
@@ -53,6 +70,14 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const Trace &trace,
 void
 GpuSystem::onEvictPage(PageId page)
 {
+    // Chaos: a dropped shootdown ack is detected by the driver, which
+    // re-issues the invalidation until it is acknowledged — the GPU is
+    // never left with a stale translation (the re-issue latency is folded
+    // into the fixed fault-service time).
+    if (injector_ != nullptr)
+        while (injector_->shootdownDropped())
+            ++*shootdownReissues_;
+
     // TLB shootdown and cache invalidation for the evicted page.
     l2Tlb_->invalidate(page);
     for (Sm &sm : sms_) {
@@ -102,7 +127,16 @@ GpuSystem::translate(Warp &warp, Addr addr)
             // The walk is resolved now (its latency may depend on the PWC
             // state) and its outcome applies after that latency elapses.
             const WalkResult walk = walker_->walk(page);
-            eq_.scheduleIn(walk.latency, [this, &warp, &sm, addr, page,
+            // Chaos: each transient walk error forces a re-walk, costing
+            // one more walk latency before the outcome applies.
+            Cycle walk_penalty = 0;
+            if (injector_ != nullptr)
+                while (injector_->walkErrors()) {
+                    walk_penalty += walk.latency;
+                    ++*walkRetries_;
+                }
+            eq_.scheduleIn(walk_penalty + walk.latency,
+                           [this, &warp, &sm, addr, page,
                                           hit = walk.hit] {
                 if (hit) {
                     l2Tlb_->fill(page);

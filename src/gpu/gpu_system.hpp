@@ -21,11 +21,14 @@
 #include <vector>
 
 #include "common/event_queue.hpp"
+#include "common/fault_injector.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/hpe_policy.hpp"
 #include "driver/gpu_driver.hpp"
 #include "driver/pcie.hpp"
+#include "driver/resilience.hpp"
+#include "driver/state_validator.hpp"
 #include "driver/uvm_manager.hpp"
 #include "mem/data_cache.hpp"
 #include "mem/dram.hpp"
@@ -78,6 +81,13 @@ struct GpuConfig
     PcieConfig pcie{};
     DriverConfig driver{};
 
+    /** Chaos-mode fault injection; disabled = byte-identical stat tree. */
+    ChaosConfig chaos{};
+    /** Graceful degradation under thrashing (refault-rate watermarks). */
+    DegradationConfig degradation{};
+    /** Cross-check driver state after every fault service (StateValidator). */
+    bool validate = false;
+
     /** Safety bound on simulated cycles (0 = unbounded). */
     Cycle maxCycles = 0;
 };
@@ -117,6 +127,7 @@ class GpuSystem
     /** @{ component access for tests */
     UvmMemoryManager &uvm() { return uvm_; }
     EventQueue &eventQueue() { return eq_; }
+    FaultInjector *injector() { return injector_.get(); }
     /** @} */
 
   private:
@@ -160,6 +171,13 @@ class GpuSystem
     UvmMemoryManager uvm_;
     PcieLink pcie_;
     GpuDriver driver_;
+
+    /** @{ chaos mode (constructed only when the config enables them) */
+    std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<StateValidator> validator_;
+    Counter *walkRetries_ = nullptr;
+    Counter *shootdownReissues_ = nullptr;
+    /** @} */
 
     std::vector<Sm> sms_;
     std::unique_ptr<Tlb> l2Tlb_;

@@ -57,6 +57,15 @@ class PageTable
     /** Number of resident pages. */
     std::size_t size() const { return map_.size(); }
 
+    /** Visit every (page, frame) mapping, in no particular order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[page, frame] : map_)
+            fn(page, frame);
+    }
+
   private:
     std::unordered_map<PageId, FrameId> map_;
 };

@@ -75,6 +75,16 @@ class ClockPolicy : public EvictionPolicy
 
     std::string name() const override { return "CLOCK"; }
 
+    std::optional<std::vector<PageId>>
+    trackedResidentPages() const override
+    {
+        std::vector<PageId> pages;
+        pages.reserve(nodes_.size());
+        for (const auto &[page, node] : nodes_)
+            pages.push_back(page);
+        return pages;
+    }
+
   private:
     struct Node : IntrusiveNode
     {

@@ -213,6 +213,19 @@ ClockProPolicy::onMigrateIn(PageId page)
     insertNew(page);
 }
 
+std::optional<std::vector<PageId>>
+ClockProPolicy::trackedResidentPages() const
+{
+    // Resident = hot + resident-cold; non-resident cold entries are test
+    // metadata only and must not be reported.
+    std::vector<PageId> pages;
+    pages.reserve(numHot_ + numColdRes_);
+    for (const auto &[page, node] : nodes_)
+        if (node->state != State::ColdNonResident)
+            pages.push_back(page);
+    return pages;
+}
+
 ClockProPolicy::Node &
 ClockProPolicy::insertNew(PageId page)
 {

@@ -52,6 +52,8 @@ class ClockProPolicy : public EvictionPolicy
     void onMigrateIn(PageId page) override;
     std::string name() const override { return "CLOCK-Pro"; }
 
+    std::optional<std::vector<PageId>> trackedResidentPages() const override;
+
     /** @{ introspection for tests */
     std::size_t residentHot() const { return numHot_; }
     std::size_t residentCold() const { return numColdRes_; }

@@ -117,6 +117,16 @@ class DipPolicy : public EvictionPolicy
 
     std::string name() const override { return "DIP"; }
 
+    std::optional<std::vector<PageId>>
+    trackedResidentPages() const override
+    {
+        std::vector<PageId> pages;
+        pages.reserve(nodes_.size());
+        for (const auto &[page, node] : nodes_)
+            pages.push_back(page);
+        return pages;
+    }
+
     /** Selector value (for tests: > max/2 means BIP is winning). */
     std::uint32_t psel() const { return psel_; }
 

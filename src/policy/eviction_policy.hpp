@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -50,6 +52,19 @@ class EvictionPolicy
 
     /** Human-readable policy name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * The pages this policy currently believes are resident, in no
+     * particular order — consumed by the cross-layer StateValidator to
+     * check policy bookkeeping against the page table and frame pool.
+     * Policies that keep no residency state return nullopt (the validator
+     * then skips the policy leg of the check).
+     */
+    virtual std::optional<std::vector<PageId>>
+    trackedResidentPages() const
+    {
+        return std::nullopt;
+    }
 };
 
 } // namespace hpe

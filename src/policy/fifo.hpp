@@ -51,6 +51,12 @@ class FifoPolicy : public EvictionPolicy
 
     std::string name() const override { return "FIFO"; }
 
+    std::optional<std::vector<PageId>>
+    trackedResidentPages() const override
+    {
+        return std::vector<PageId>(resident_.begin(), resident_.end());
+    }
+
   private:
     std::deque<PageId> queue_;
     std::unordered_set<PageId> resident_;

@@ -66,6 +66,16 @@ class LfuPolicy : public EvictionPolicy
 
     std::string name() const override { return "LFU"; }
 
+    std::optional<std::vector<PageId>>
+    trackedResidentPages() const override
+    {
+        std::vector<PageId> pages;
+        pages.reserve(index_.size());
+        for (const auto &[key, page] : index_)
+            pages.push_back(page);
+        return pages;
+    }
+
     /** Frequency of @p page (0 if never seen); for tests. */
     std::uint64_t
     frequencyOf(PageId page) const

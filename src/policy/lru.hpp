@@ -58,6 +58,16 @@ class LruPolicy : public EvictionPolicy
 
     std::string name() const override { return "LRU"; }
 
+    std::optional<std::vector<PageId>>
+    trackedResidentPages() const override
+    {
+        std::vector<PageId> pages;
+        pages.reserve(nodes_.size());
+        for (const auto &[page, node] : nodes_)
+            pages.push_back(page);
+        return pages;
+    }
+
     /** Number of tracked resident pages (for tests). */
     std::size_t size() const { return nodes_.size(); }
 

@@ -41,6 +41,12 @@ class MinPolicy : public EvictionPolicy
     void onMigrateIn(PageId page) override;
     std::string name() const override { return "Ideal"; }
 
+    std::optional<std::vector<PageId>>
+    trackedResidentPages() const override
+    {
+        return resident_;
+    }
+
   private:
     static constexpr std::uint64_t kNever = UINT64_MAX;
 

@@ -56,6 +56,12 @@ class RandomPolicy : public EvictionPolicy
 
     std::string name() const override { return "Random"; }
 
+    std::optional<std::vector<PageId>>
+    trackedResidentPages() const override
+    {
+        return pages_;
+    }
+
   private:
     Rng rng_;
     std::vector<PageId> pages_;

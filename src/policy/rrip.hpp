@@ -60,6 +60,16 @@ class RripPolicy : public EvictionPolicy
     void onMigrateIn(PageId page) override;
     std::string name() const override { return "RRIP"; }
 
+    std::optional<std::vector<PageId>>
+    trackedResidentPages() const override
+    {
+        std::vector<PageId> pages;
+        pages.reserve(nodes_.size());
+        for (const auto &[page, node] : nodes_)
+            pages.push_back(page);
+        return pages;
+    }
+
     /** Resident tracked pages (for tests). */
     std::size_t size() const { return nodes_.size(); }
 

@@ -21,8 +21,12 @@ runFunctionalInspect(const Trace &trace, PolicyKind kind, const RunConfig &cfg)
     InspectableRun run;
     run.stats = std::make_unique<StatRegistry>();
     run.policy = makePolicy(kind, trace, *run.stats, cfg.hpe, cfg.seed);
+    // The GpuConfig carries the resilience knobs for both modes; the
+    // functional path honours the ones that exist without timing.
+    const PagingOptions opts{.degradation = cfg.gpu.degradation,
+                             .validate = cfg.gpu.validate};
     run.paging = runPaging(trace, *run.policy, framesFor(trace, cfg.oversub),
-                           *run.stats);
+                           *run.stats, opts);
     return run;
 }
 

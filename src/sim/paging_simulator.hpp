@@ -12,8 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/stats.hpp"
+#include "driver/resilience.hpp"
+#include "driver/state_validator.hpp"
 #include "driver/uvm_manager.hpp"
 #include "policy/eviction_policy.hpp"
 #include "workload/trace.hpp"
@@ -38,6 +41,15 @@ struct PagingResult
     }
 };
 
+/** Optional attachments of a functional run (all off by default). */
+struct PagingOptions
+{
+    /** Graceful degradation under thrashing. */
+    DegradationConfig degradation{};
+    /** Cross-check driver state after every fault service. */
+    bool validate = false;
+};
+
 /**
  * Run @p trace against @p policy with @p frames pages of GPU memory.
  *
@@ -45,12 +57,20 @@ struct PagingResult
  * @param policy eviction policy under study.
  * @param frames GPU memory capacity in pages (oversubscription control).
  * @param stats  registry for the run's counters.
+ * @param opts   optional resilience attachments.
  */
 inline PagingResult
 runPaging(const Trace &trace, EvictionPolicy &policy, std::size_t frames,
-          StatRegistry &stats)
+          StatRegistry &stats, const PagingOptions &opts = {})
 {
     UvmMemoryManager uvm(frames, policy, stats, "uvm");
+    if (opts.degradation.enabled)
+        uvm.enableDegradation(opts.degradation);
+    std::unique_ptr<StateValidator> validator;
+    if (opts.validate) {
+        validator = std::make_unique<StateValidator>(uvm, stats, "validator");
+        uvm.setValidateHook([&validator] { validator->check(); });
+    }
     PagingResult result;
     for (const PageRef &ref : trace.refs()) {
         ++result.references;

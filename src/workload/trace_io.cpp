@@ -1,25 +1,93 @@
 #include "workload/trace_io.hpp"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
 
+#include "common/format.hpp"
 #include "common/log.hpp"
+#include "common/types.hpp"
 
 namespace hpe {
 
 namespace {
 
-PatternType
-parsePattern(const std::string &s)
+/** Largest page id whose base address fits the simulator's Addr space. */
+constexpr PageId kMaxTracePageId = std::numeric_limits<Addr>::max() >> kPageShift;
+
+/**
+ * Parse all of @p token as an unsigned integer in @p base.
+ * @return the value, or nullopt on garbage, sign, overflow, or trailing
+ *         characters (strict: the whole token must be the number).
+ */
+std::optional<std::uint64_t>
+parseUint(const std::string &token, int base)
+{
+    if (token.empty() || token[0] == '-' || token[0] == '+')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(token.c_str(), &end, base);
+    if (errno == ERANGE || end != token.c_str() + token.size())
+        return std::nullopt;
+    return v;
+}
+
+/** Split @p line on blanks (the format never quotes or escapes). */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::istringstream is(line);
+    std::vector<std::string> tokens;
+    std::string t;
+    while (is >> t)
+        tokens.push_back(std::move(t));
+    return tokens;
+}
+
+std::optional<PatternType>
+findPattern(const std::string &s)
 {
     for (PatternType t : {PatternType::I, PatternType::II, PatternType::III,
                           PatternType::IV, PatternType::V, PatternType::VI})
         if (s == patternName(t))
             return t;
-    fatal("bad pattern type '{}' in trace", s);
+    return std::nullopt;
+}
+
+TraceLoadResult
+failLoad(TraceIoStatus status, std::string message)
+{
+    TraceLoadResult r;
+    r.status = status;
+    r.message = std::move(message);
+    return r;
 }
 
 } // namespace
+
+const char *
+traceIoStatusName(TraceIoStatus status)
+{
+    switch (status) {
+      case TraceIoStatus::Ok: return "Ok";
+      case TraceIoStatus::OpenFailed: return "OpenFailed";
+      case TraceIoStatus::MissingHeader: return "MissingHeader";
+      case TraceIoStatus::BadHeader: return "BadHeader";
+      case TraceIoStatus::BadPattern: return "BadPattern";
+      case TraceIoStatus::BadRecord: return "BadRecord";
+      case TraceIoStatus::PageOutOfRange: return "PageOutOfRange";
+      case TraceIoStatus::Truncated: return "Truncated";
+      case TraceIoStatus::CountMismatch: return "CountMismatch";
+      case TraceIoStatus::TrailingData: return "TrailingData";
+    }
+    return "?";
+}
 
 void
 saveTrace(const Trace &trace, std::ostream &os)
@@ -37,6 +105,8 @@ saveTrace(const Trace &trace, std::ostream &os)
         os << std::hex << ref.page << std::dec << " " << ref.burst
            << (ref.write ? " w" : "") << "\n";
     }
+    // Footer: lets the loader tell a complete file from a truncated one.
+    os << "end " << trace.size() << "\n";
 }
 
 void
@@ -50,55 +120,116 @@ saveTraceFile(const Trace &trace, const std::string &path)
         fatal("write error on '{}'", path);
 }
 
-Trace
-loadTrace(std::istream &is)
+TraceLoadResult
+tryLoadTrace(std::istream &is)
 {
     std::string line;
     std::string abbr, app, suite, pattern;
 
     // Header (skipping comments/blank lines).
+    std::size_t line_no = 0;
     for (;;) {
         if (!std::getline(is, line))
-            fatal("trace stream ended before the header");
+            return failLoad(TraceIoStatus::MissingHeader,
+                            "trace stream ended before the header");
+        ++line_no;
         if (line.empty() || line[0] == '#')
             continue;
-        std::istringstream header(line);
-        std::string tag;
-        header >> tag >> abbr >> app >> suite >> pattern;
-        if (tag != "trace" || pattern.empty())
-            fatal("bad trace header '{}'", line);
+        const auto tokens = tokenize(line);
+        if (tokens.size() != 5 || tokens[0] != "trace")
+            return failLoad(TraceIoStatus::BadHeader,
+                            strformat("bad trace header '{}'", line));
+        abbr = tokens[1];
+        app = tokens[2];
+        suite = tokens[3];
+        pattern = tokens[4];
         break;
     }
+    const auto pat = findPattern(pattern);
+    if (!pat)
+        return failLoad(TraceIoStatus::BadPattern,
+                        strformat("bad pattern type '{}' in trace", pattern));
 
-    Trace trace(abbr, app, suite, parsePattern(pattern));
-    std::size_t line_no = 1;
+    Trace trace(abbr, app, suite, *pat);
+    std::optional<std::uint64_t> footer;
     while (std::getline(is, line)) {
         ++line_no;
         if (line.empty() || line[0] == '#')
             continue;
+        if (footer)
+            return failLoad(TraceIoStatus::TrailingData,
+                            strformat("data after trace footer at line {}: "
+                                      "'{}'", line_no, line));
         if (line == "k") {
             trace.beginKernel();
             continue;
         }
-        std::istringstream rec(line);
-        PageId page = 0;
-        unsigned burst = 0;
-        std::string flag;
-        rec >> std::hex >> page >> std::dec >> burst >> flag;
-        if (burst == 0 || burst > UINT16_MAX || (!flag.empty() && flag != "w"))
-            fatal("bad trace record at line {}: '{}'", line_no, line);
-        trace.add(page, static_cast<std::uint16_t>(burst), flag == "w");
+        const auto tokens = tokenize(line);
+        if (tokens.size() == 2 && tokens[0] == "end") {
+            footer = parseUint(tokens[1], 10);
+            if (!footer)
+                return failLoad(TraceIoStatus::BadRecord,
+                                strformat("bad trace footer at line {}: '{}'",
+                                          line_no, line));
+            continue;
+        }
+        const auto page = tokens.empty()
+                              ? std::nullopt
+                              : parseUint(tokens[0], 16);
+        const auto burst = tokens.size() < 2
+                               ? std::nullopt
+                               : parseUint(tokens[1], 10);
+        const bool write = tokens.size() == 3 && tokens[2] == "w";
+        if (!page || !burst || *burst == 0 || *burst > UINT16_MAX
+            || tokens.size() > 3 || (tokens.size() == 3 && !write))
+            return failLoad(TraceIoStatus::BadRecord,
+                            strformat("bad trace record at line {}: '{}'",
+                                      line_no, line));
+        if (*page > kMaxTracePageId)
+            return failLoad(TraceIoStatus::PageOutOfRange,
+                            strformat("page id {:#x} out of range at line {} "
+                                      "(max {:#x})", *page, line_no,
+                                      kMaxTracePageId));
+        trace.add(*page, static_cast<std::uint16_t>(*burst), write);
     }
-    return trace;
+    if (!footer)
+        return failLoad(TraceIoStatus::Truncated,
+                        "truncated trace: missing 'end' footer");
+    if (*footer != trace.size())
+        return failLoad(TraceIoStatus::CountMismatch,
+                        strformat("trace footer counts {} visits but {} were "
+                                  "read", *footer, trace.size()));
+    TraceLoadResult result;
+    result.trace.emplace(std::move(trace));
+    return result;
+}
+
+TraceLoadResult
+tryLoadTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return failLoad(TraceIoStatus::OpenFailed,
+                        strformat("cannot open '{}'", path));
+    return tryLoadTrace(is);
+}
+
+Trace
+loadTrace(std::istream &is)
+{
+    TraceLoadResult r = tryLoadTrace(is);
+    if (!r.ok())
+        fatal("{}", r.message);
+    return std::move(*r.trace);
 }
 
 Trace
 loadTraceFile(const std::string &path)
 {
-    std::ifstream is(path);
-    if (!is)
-        fatal("cannot open '{}'", path);
-    return loadTrace(is);
+    TraceLoadResult r = tryLoadTraceFile(path);
+    if (!r.ok())
+        fatal("{}", r.message);
+    return std::move(*r.trace);
 }
 
 } // namespace hpe

@@ -10,22 +10,68 @@
  *   trace <abbr> <application> <suite> <pattern I..VI>
  *   k                     # kernel-launch boundary
  *   <page-hex> <burst>    # one visit
+ *   end <visit-count>     # footer; absence means the file was truncated
+ *
+ * Loading validates the input end to end — garbage headers, malformed
+ * records, out-of-range page ids, truncation (missing or short footer)
+ * and trailing junk are all reported as a typed error carrying the line
+ * number; a failed load never yields a partial trace.  The tryLoad*
+ * functions return that error; the loadTrace* wrappers keep the original
+ * fatal() behaviour for the CLI.
  */
 
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "workload/trace.hpp"
 
 namespace hpe {
 
-/** Write @p trace to @p os in the text format above. */
+/** Why a trace failed to load. */
+enum class TraceIoStatus : std::uint8_t
+{
+    Ok,
+    OpenFailed,    ///< file could not be opened
+    MissingHeader, ///< stream ended before the header line
+    BadHeader,     ///< first line is not a well-formed "trace ..." header
+    BadPattern,    ///< header names an unknown access pattern
+    BadRecord,     ///< a visit line failed to parse
+    PageOutOfRange,///< a page id does not fit the simulator's address space
+    Truncated,     ///< stream ended before the "end <count>" footer
+    CountMismatch, ///< footer count disagrees with the records read
+    TrailingData,  ///< non-comment data after the footer
+};
+
+/** Human-readable name of @p status (for messages and tests). */
+const char *traceIoStatusName(TraceIoStatus status);
+
+/** Outcome of a tryLoadTrace* call: a trace or a diagnosed failure. */
+struct TraceLoadResult
+{
+    TraceIoStatus status = TraceIoStatus::Ok;
+    /** Diagnostic for failures (includes the offending line). */
+    std::string message;
+    /** Present iff status == Ok. */
+    std::optional<Trace> trace;
+
+    bool ok() const { return status == TraceIoStatus::Ok; }
+};
+
+/** Write @p trace to @p os in the text format above (with footer). */
 void saveTrace(const Trace &trace, std::ostream &os);
 
 /** Write @p trace to @p path; fatal() on I/O failure. */
 void saveTraceFile(const Trace &trace, const std::string &path);
+
+/** Parse a trace from @p is; malformed input yields a typed error. */
+TraceLoadResult tryLoadTrace(std::istream &is);
+
+/** Read a trace from @p path; I/O and parse failures yield typed errors. */
+TraceLoadResult tryLoadTraceFile(const std::string &path);
 
 /** Parse a trace from @p is; fatal() on malformed input. */
 Trace loadTrace(std::istream &is);

@@ -12,6 +12,7 @@
 #include "common/event_queue.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "driver/pcie.hpp"
 #include "mem/dram.hpp"
 #include "mem/page_table.hpp"
 #include "mem/set_assoc.hpp"
@@ -144,6 +145,57 @@ TEST(ExperimentEdge, MinimumOneFrame)
     Trace t("X", "x", "s", PatternType::I);
     t.add(1);
     EXPECT_EQ(framesFor(t, 1.0), 1u);
+}
+
+TEST(Death, ZeroFramePoolRejected)
+{
+    EXPECT_DEATH({ FrameAllocator alloc(0); }, "empty frame pool");
+}
+
+TEST(Death, ZeroFrameUvmRejected)
+{
+    StatRegistry stats;
+    LruPolicy lru;
+    EXPECT_DEATH({ UvmMemoryManager uvm(0, lru, stats, "uvm"); },
+                 "empty frame pool");
+}
+
+TEST(EdgeGeometry, OneFramePoolUnderEveryPolicy)
+{
+    // With a single frame the policy has no real choice: every distinct
+    // page faults, every back-to-back revisit hits, and each migration
+    // past the first evicts.  Those counts are policy-independent, so the
+    // whole roster (validator on) must agree on them.
+    Trace t("X", "x", "s", PatternType::I);
+    for (PageId p : {1, 1, 2, 2, 3, 1})
+        t.add(p);
+    for (PolicyKind kind : extendedPolicyKinds()) {
+        StatRegistry stats;
+        auto policy = makePolicy(kind, t, stats);
+        const PagingOptions opts{.validate = true};
+        const PagingResult r = runPaging(t, *policy, 1, stats, opts);
+        EXPECT_EQ(r.references, 6u) << policyKindName(kind);
+        EXPECT_EQ(r.faults, 4u) << policyKindName(kind);
+        EXPECT_EQ(r.hits, 2u) << policyKindName(kind);
+        EXPECT_EQ(r.evictions, 3u) << policyKindName(kind);
+    }
+}
+
+TEST(PcieEdge, ZeroByteTransferIsANoOp)
+{
+    StatRegistry stats;
+    PcieLink link(PcieConfig{}, stats, "p");
+#ifdef NDEBUG
+    // Release builds: no link hold, no transfer counted.
+    link.transfer(0, kPageBytes);
+    const Cycle horizon = link.horizon();
+    EXPECT_EQ(link.transfer(horizon + 5, 0), horizon + 5);
+    EXPECT_EQ(link.horizon(), horizon);
+    EXPECT_EQ(stats.counter("p.transfers").value(), 1u);
+#else
+    // Debug builds: the caller bug is asserted on.
+    EXPECT_DEATH({ link.transfer(0, 0); }, "zero-byte");
+#endif
 }
 
 } // namespace

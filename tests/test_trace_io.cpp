@@ -80,12 +80,101 @@ TEST(TraceIo, CommentsAndBlankLinesIgnored)
        << "trace T t s I\n"
        << "# another\n"
        << "ff 4\n\n"
-       << "100 2\n";
+       << "100 2\n"
+       << "end 2\n"
+       << "# trailing comment is fine\n";
     const Trace t = loadTrace(ss);
     ASSERT_EQ(t.size(), 2u);
     EXPECT_EQ(t.refs()[0].page, 0xffu);
     EXPECT_EQ(t.refs()[0].burst, 4);
     EXPECT_EQ(t.refs()[1].page, 0x100u);
+}
+
+TEST(TraceIo, TruncatedTraceIsTypedError)
+{
+    // A file cut off mid-stream has no footer: no partial trace comes back.
+    std::stringstream ss;
+    ss << "trace T t s I\n"
+       << "ff 4\n"
+       << "100 2\n";
+    const TraceLoadResult r = tryLoadTrace(ss);
+    EXPECT_EQ(r.status, TraceIoStatus::Truncated);
+    EXPECT_FALSE(r.trace.has_value());
+}
+
+TEST(TraceIo, FooterCountMismatchIsTypedError)
+{
+    std::stringstream ss;
+    ss << "trace T t s I\n"
+       << "ff 4\n"
+       << "end 5\n";
+    const TraceLoadResult r = tryLoadTrace(ss);
+    EXPECT_EQ(r.status, TraceIoStatus::CountMismatch);
+    EXPECT_FALSE(r.trace.has_value());
+}
+
+TEST(TraceIo, TrailingDataIsTypedError)
+{
+    std::stringstream ss;
+    ss << "trace T t s I\n"
+       << "ff 4\n"
+       << "end 1\n"
+       << "100 2\n";
+    const TraceLoadResult r = tryLoadTrace(ss);
+    EXPECT_EQ(r.status, TraceIoStatus::TrailingData);
+    EXPECT_FALSE(r.trace.has_value());
+}
+
+TEST(TraceIo, GarbageHeaderIsTypedError)
+{
+    std::stringstream ss;
+    ss << "\x7f""ELF\x02\x01\x01 garbage\n";
+    const TraceLoadResult r = tryLoadTrace(ss);
+    EXPECT_EQ(r.status, TraceIoStatus::BadHeader);
+    EXPECT_FALSE(r.trace.has_value());
+}
+
+TEST(TraceIo, EmptyStreamIsTypedError)
+{
+    std::stringstream ss;
+    const TraceLoadResult r = tryLoadTrace(ss);
+    EXPECT_EQ(r.status, TraceIoStatus::MissingHeader);
+}
+
+TEST(TraceIo, OutOfRangePageIdIsTypedError)
+{
+    // The page's base address must fit Addr: ids above 2^52-1 cannot.
+    std::stringstream ss;
+    ss << "trace T t s I\n"
+       << "fffffffffffffff0 1\n"
+       << "end 1\n";
+    const TraceLoadResult r = tryLoadTrace(ss);
+    EXPECT_EQ(r.status, TraceIoStatus::PageOutOfRange);
+    EXPECT_FALSE(r.trace.has_value());
+}
+
+TEST(TraceIo, NegativeAndOverlongFieldsAreBadRecords)
+{
+    for (const char *record : {"-ff 4", "ff -4", "ff 4 w extra", "ff 4 x",
+                               "ff 0", "ff 99999", "ff", "10q 4"}) {
+        std::stringstream ss;
+        ss << "trace T t s I\n" << record << "\nend 1\n";
+        const TraceLoadResult r = tryLoadTrace(ss);
+        EXPECT_EQ(r.status, TraceIoStatus::BadRecord) << record;
+        EXPECT_FALSE(r.trace.has_value()) << record;
+    }
+}
+
+TEST(TraceIo, MissingFileIsTypedError)
+{
+    const TraceLoadResult r = tryLoadTraceFile("/nonexistent/path/x.trace");
+    EXPECT_EQ(r.status, TraceIoStatus::OpenFailed);
+}
+
+TEST(TraceIo, StatusNamesAreStable)
+{
+    EXPECT_STREQ(traceIoStatusName(TraceIoStatus::Ok), "Ok");
+    EXPECT_STREQ(traceIoStatusName(TraceIoStatus::Truncated), "Truncated");
 }
 
 TEST(TraceIo, BadHeaderIsFatal)
