@@ -41,19 +41,27 @@ main(int argc, char **argv)
          }},
     };
 
+    const auto per_app =
+        bench::forAllApps(opt, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            std::vector<double> per_variant;
+            for (const Variant &v : variants) {
+                RunConfig cfg;
+                cfg.oversub = 0.75;
+                cfg.seed = opt.seed;
+                v.apply(cfg.hpe);
+                per_variant.push_back(static_cast<double>(
+                    runFunctional(trace, PolicyKind::Hpe, cfg).faults));
+            }
+            return per_variant;
+        });
+
     // per variant: per app faults
     std::map<std::string, std::map<std::string, double>> faults;
-    for (const std::string &app : bench::allApps()) {
-        const Trace trace = buildApp(app, opt.scale, opt.seed);
-        for (const Variant &v : variants) {
-            RunConfig cfg;
-            cfg.oversub = 0.75;
-            cfg.seed = opt.seed;
-            v.apply(cfg.hpe);
-            faults[v.name][app] = static_cast<double>(
-                runFunctional(trace, PolicyKind::Hpe, cfg).faults);
-        }
-    }
+    const auto apps = bench::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        for (std::size_t v = 0; v < variants.size(); ++v)
+            faults[variants[v].name][apps[i]] = per_app[i][v];
 
     TextTable t({"variant", "mean faults vs full", "worst app", "worst ratio"});
     for (const Variant &v : variants) {

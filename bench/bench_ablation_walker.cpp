@@ -16,17 +16,32 @@ main(int argc, char **argv)
     bench::banner("Ablation: fixed-latency walk vs 4-level radix walk + PWC",
                   opt);
 
+    struct AppResult
+    {
+        TimingResult fixed;
+        InspectableRun multi;
+    };
+    const auto results =
+        bench::forAllApps(opt, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            RunConfig fixed, multi;
+            fixed.oversub = multi.oversub = 0.75;
+            fixed.seed = multi.seed = opt.seed;
+            multi.gpu.walkerMode = WalkerMode::MultiLevel;
+            AppResult r;
+            r.fixed = runTiming(trace, PolicyKind::Hpe, fixed);
+            r.multi = runTimingInspect(trace, PolicyKind::Hpe, multi);
+            return r;
+        });
+
     TextTable t({"app", "IPC fixed", "IPC multi-level", "delta %",
                  "PWC hit rate", "mean walk latency"});
     std::vector<double> deltas;
-    for (const std::string &app : bench::allApps()) {
-        const Trace trace = buildApp(app, opt.scale, opt.seed);
-        RunConfig fixed, multi;
-        fixed.oversub = multi.oversub = 0.75;
-        fixed.seed = multi.seed = opt.seed;
-        multi.gpu.walkerMode = WalkerMode::MultiLevel;
-        const auto a = runTiming(trace, PolicyKind::Hpe, fixed);
-        const auto run = runTimingInspect(trace, PolicyKind::Hpe, multi);
+    const auto apps = bench::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const std::string &app = apps[i];
+        const auto &a = results[i].fixed;
+        const InspectableRun &run = results[i].multi;
         const double delta = 100.0 * (run.timing.ipc - a.ipc) / a.ipc;
         deltas.push_back(delta);
         const auto &hits = run.stats->findCounter("gpu.walker.pwcHits");

@@ -3,10 +3,16 @@
  * Shared helpers for the paper-reproduction benchmark harness.
  *
  * Every bench binary regenerates one table or figure of the paper.  The
- * harness accepts two optional arguments common to all binaries:
+ * harness accepts the arguments common to all binaries:
  *
- *   argv[1]  footprint scale factor (default 1.0)
- *   argv[2]  base RNG seed (default 1)
+ *   argv[1]     footprint scale factor (default 1.0)
+ *   argv[2]     base RNG seed (default 1)
+ *   --jobs N    parallelism for per-app sweeps (default: HPE_JOBS env,
+ *               else all hardware threads); results are reduced in app
+ *               order, so output is byte-identical for every N.
+ *
+ * Arguments are parsed strictly: trailing garbage ("1.5x") and unknown
+ * flags abort with a usage line instead of being silently truncated.
  */
 
 #pragma once
@@ -16,10 +22,12 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 #include "workload/apps.hpp"
 
 namespace hpe::bench {
@@ -29,18 +37,63 @@ struct Options
 {
     double scale = 1.0;
     std::uint64_t seed = 1;
+    /** Sweep parallelism; 0 resolves via resolveJobs() (env/hardware). */
+    unsigned jobs = 0;
 };
+
+[[noreturn]] inline void
+usage(const char *prog)
+{
+    std::cerr << "usage: " << prog << " [scale] [seed] [--jobs N]\n"
+              << "  scale    footprint scale factor > 0 (default 1.0)\n"
+              << "  seed     base RNG seed (default 1)\n"
+              << "  --jobs   sweep parallelism (default: HPE_JOBS env, else"
+                 " hardware threads);\n"
+              << "           output is identical for every value\n";
+    std::exit(2);
+}
 
 inline Options
 parseOptions(int argc, char **argv)
 {
     Options opt;
-    if (argc > 1)
-        opt.scale = std::atof(argv[1]);
-    if (argc > 2)
-        opt.seed = std::strtoull(argv[2], nullptr, 10);
-    if (opt.scale <= 0)
-        fatal("bad scale factor");
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        char *end = nullptr;
+        if (arg == "--jobs") {
+            if (++i >= argc) {
+                std::cerr << argv[0] << ": --jobs requires a value\n";
+                usage(argv[0]);
+            }
+            const unsigned long v = std::strtoul(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0' || v == 0) {
+                std::cerr << argv[0] << ": bad --jobs value '" << argv[i]
+                          << "'\n";
+                usage(argv[0]);
+            }
+            opt.jobs = static_cast<unsigned>(v);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else if (positional == 0) {
+            opt.scale = std::strtod(arg.c_str(), &end);
+            if (end == arg.c_str() || *end != '\0' || opt.scale <= 0) {
+                std::cerr << argv[0] << ": bad scale factor '" << arg << "'\n";
+                usage(argv[0]);
+            }
+            ++positional;
+        } else if (positional == 1) {
+            opt.seed = std::strtoull(arg.c_str(), &end, 10);
+            if (end == arg.c_str() || *end != '\0') {
+                std::cerr << argv[0] << ": bad seed '" << arg << "'\n";
+                usage(argv[0]);
+            }
+            ++positional;
+        } else {
+            std::cerr << argv[0] << ": unexpected argument '" << arg << "'\n";
+            usage(argv[0]);
+        }
+    }
     return opt;
 }
 
@@ -52,6 +105,32 @@ allApps()
     for (const AppSpec &s : appSpecs())
         apps.push_back(s.abbr);
     return apps;
+}
+
+/**
+ * Evaluate fn(abbr) for every Table II app across a SweepRunner and
+ * return the results in Table II order.  fn runs concurrently (opt.jobs
+ * ways), so it must only build traces and run simulations — printing
+ * belongs in the serial reduction over the returned vector, which is
+ * what keeps every table byte-identical to a --jobs 1 run.
+ */
+template <typename Fn>
+auto
+forAllApps(const Options &opt, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, const std::string &>>
+{
+    SweepRunner runner(opt.jobs);
+    return runner.mapItems(allApps(), fn);
+}
+
+/** forAllApps() over an explicit app list (results align with it). */
+template <typename Fn>
+auto
+forApps(const Options &opt, const std::vector<std::string> &apps, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, const std::string &>>
+{
+    SweepRunner runner(opt.jobs);
+    return runner.mapItems(apps, fn);
 }
 
 /** The pattern-type group label of an app ("I".."VI"). */
@@ -98,7 +177,8 @@ averageByType(const std::map<std::string, double> &per_app)
     return out;
 }
 
-/** Print a standard experiment banner. */
+/** Print a standard experiment banner (never mentions jobs: output must
+ *  not depend on the parallelism degree). */
 inline void
 banner(const std::string &what, const Options &opt)
 {

@@ -17,26 +17,42 @@ main(int argc, char **argv)
                   opt);
 
     const std::vector<std::uint32_t> thresholds = {64, 48, 32, 24, 16};
+    const std::vector<std::string> apps = {"NW", "MVT", "BFS"};
+
+    struct Cell
+    {
+        std::uint64_t divisions, faults;
+    };
+    const auto results =
+        bench::forApps(opt, apps, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            std::vector<Cell> cells;
+            for (std::uint32_t threshold : thresholds) {
+                RunConfig cfg;
+                cfg.oversub = 0.75;
+                cfg.seed = opt.seed;
+                cfg.hpe.divisionThreshold = threshold;
+                const auto run =
+                    runFunctionalInspect(trace, PolicyKind::Hpe, cfg);
+                cells.push_back(Cell{
+                    run.stats->findCounter("hpe.chain.divisions").value(),
+                    run.paging.faults});
+            }
+            return cells;
+        });
 
     TextTable t({"app", "threshold", "divisions", "faults",
                  "faults vs strict"});
-    for (const std::string &app : {std::string("NW"), std::string("MVT"),
-                                   std::string("BFS")}) {
-        const Trace trace = buildApp(app, opt.scale, opt.seed);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
         double strict_faults = 0;
-        for (std::uint32_t threshold : thresholds) {
-            RunConfig cfg;
-            cfg.oversub = 0.75;
-            cfg.seed = opt.seed;
-            cfg.hpe.divisionThreshold = threshold;
-            const auto run = runFunctionalInspect(trace, PolicyKind::Hpe, cfg);
-            if (threshold == 64)
-                strict_faults = static_cast<double>(run.paging.faults);
-            t.addRow({app, std::to_string(threshold),
-                      std::to_string(
-                          run.stats->findCounter("hpe.chain.divisions").value()),
-                      std::to_string(run.paging.faults),
-                      TextTable::num(static_cast<double>(run.paging.faults)
+        for (std::size_t s = 0; s < thresholds.size(); ++s) {
+            const Cell &cell = results[i][s];
+            if (thresholds[s] == 64)
+                strict_faults = static_cast<double>(cell.faults);
+            t.addRow({apps[i], std::to_string(thresholds[s]),
+                      std::to_string(cell.divisions),
+                      std::to_string(cell.faults),
+                      TextTable::num(static_cast<double>(cell.faults)
                                          / strict_faults,
                                      3)});
         }

@@ -30,18 +30,35 @@ main(int argc, char **argv)
          }},
     };
 
-    for (const char *app : {"LEU", "HSD", "BFS", "HIS"}) {
-        const Trace trace = buildApp(app, opt.scale, opt.seed);
-        std::cout << "--- " << app << " (write fraction "
-                  << TextTable::num(trace.writeFraction(), 2) << ") ---\n";
+    const std::vector<std::string> apps = {"LEU", "HSD", "BFS", "HIS"};
+    struct AppResult
+    {
+        double writeFraction;
+        std::vector<InspectableRun> runs; // aligned with variants
+    };
+    const auto results =
+        bench::forApps(opt, apps, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            AppResult r;
+            r.writeFraction = trace.writeFraction();
+            for (const Variant &v : variants) {
+                RunConfig cfg;
+                cfg.oversub = 0.75;
+                cfg.seed = opt.seed;
+                v.apply(cfg.gpu.driver);
+                r.runs.push_back(runTimingInspect(trace, PolicyKind::Hpe, cfg));
+            }
+            return r;
+        });
+
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        std::cout << "--- " << apps[i] << " (write fraction "
+                  << TextTable::num(results[i].writeFraction, 2) << ") ---\n";
         TextTable t({"variant", "faults", "prefetched", "dirty evictions",
                      "PCIe KB", "IPC"});
-        for (const Variant &v : variants) {
-            RunConfig cfg;
-            cfg.oversub = 0.75;
-            cfg.seed = opt.seed;
-            v.apply(cfg.gpu.driver);
-            const auto run = runTimingInspect(trace, PolicyKind::Hpe, cfg);
+        for (std::size_t v_idx = 0; v_idx < variants.size(); ++v_idx) {
+            const Variant &v = variants[v_idx];
+            const InspectableRun &run = results[i].runs[v_idx];
             t.addRow({v.name, std::to_string(run.timing.faults),
                       std::to_string(run.stats
                                          ->findCounter("driver.uvm.prefetches")

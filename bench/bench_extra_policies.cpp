@@ -31,21 +31,31 @@ main(int argc, char **argv)
         headers.push_back(policyKindName(kind));
     TextTable t(headers);
 
+    const auto per_app =
+        bench::forAllApps(opt, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            RunConfig cfg;
+            cfg.oversub = 0.75;
+            cfg.seed = opt.seed;
+            const auto ideal = runFunctional(trace, PolicyKind::Ideal, cfg);
+            const double base = ideal.evictions > 0
+                ? static_cast<double>(ideal.evictions)
+                : 1.0;
+            std::vector<double> per_kind;
+            for (PolicyKind kind : kinds) {
+                const auto r = runFunctional(trace, kind, cfg);
+                per_kind.push_back(static_cast<double>(r.evictions) / base);
+            }
+            return per_kind;
+        });
+
     std::map<PolicyKind, std::vector<double>> ratios;
-    for (const std::string &app : bench::allApps()) {
-        const Trace trace = buildApp(app, opt.scale, opt.seed);
-        RunConfig cfg;
-        cfg.oversub = 0.75;
-        cfg.seed = opt.seed;
-        const auto ideal = runFunctional(trace, PolicyKind::Ideal, cfg);
-        const double base =
-            ideal.evictions > 0 ? static_cast<double>(ideal.evictions) : 1.0;
-        std::vector<std::string> row{bench::typeOf(app), app};
-        for (PolicyKind kind : kinds) {
-            const auto r = runFunctional(trace, kind, cfg);
-            const double ratio = static_cast<double>(r.evictions) / base;
-            ratios[kind].push_back(ratio);
-            row.push_back(TextTable::num(ratio, 2));
+    const auto apps = bench::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        std::vector<std::string> row{bench::typeOf(apps[i]), apps[i]};
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            ratios[kinds[k]].push_back(per_app[i][k]);
+            row.push_back(TextTable::num(per_app[i][k], 2));
         }
         t.addRow(row);
     }

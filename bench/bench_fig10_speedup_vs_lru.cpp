@@ -17,22 +17,38 @@ main(int argc, char **argv)
     const auto opt = bench::parseOptions(argc, argv);
     bench::banner("Fig. 10: HPE speedup over LRU (timing IPC)", opt);
 
+    struct AppResult
+    {
+        double lru75, hpe75, lru50, hpe50;
+    };
+    const auto results =
+        bench::forAllApps(opt, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            RunConfig cfg;
+            cfg.seed = opt.seed;
+            cfg.oversub = 0.75;
+            const double lru75 = runTiming(trace, PolicyKind::Lru, cfg).ipc;
+            const double hpe75 = runTiming(trace, PolicyKind::Hpe, cfg).ipc;
+            cfg.oversub = 0.50;
+            const double lru50 = runTiming(trace, PolicyKind::Lru, cfg).ipc;
+            const double hpe50 = runTiming(trace, PolicyKind::Hpe, cfg).ipc;
+            return AppResult{lru75, hpe75, lru50, hpe50};
+        });
+
     TextTable t({"type", "app", "LRU IPC 75%", "HPE IPC 75%", "speedup 75%",
                  "LRU IPC 50%", "HPE IPC 50%", "speedup 50%"});
     std::vector<double> sp75, sp50;
-    for (const std::string &app : bench::allApps()) {
-        const Trace trace = buildApp(app, opt.scale, opt.seed);
-        std::vector<std::string> row{bench::typeOf(app), app};
+    const auto apps = bench::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const AppResult &r = results[i];
+        std::vector<std::string> row{bench::typeOf(apps[i]), apps[i]};
         for (double rate : {0.75, 0.50}) {
-            RunConfig cfg;
-            cfg.oversub = rate;
-            cfg.seed = opt.seed;
-            const auto lru = runTiming(trace, PolicyKind::Lru, cfg);
-            const auto hpe = runTiming(trace, PolicyKind::Hpe, cfg);
-            const double speedup = hpe.ipc / lru.ipc;
+            const double lru = rate == 0.75 ? r.lru75 : r.lru50;
+            const double hpe = rate == 0.75 ? r.hpe75 : r.hpe50;
+            const double speedup = hpe / lru;
             (rate == 0.75 ? sp75 : sp50).push_back(speedup);
-            row.push_back(TextTable::num(lru.ipc, 4));
-            row.push_back(TextTable::num(hpe.ipc, 4));
+            row.push_back(TextTable::num(lru, 4));
+            row.push_back(TextTable::num(hpe, 4));
             row.push_back(TextTable::num(speedup, 2));
         }
         t.addRow(row);

@@ -16,25 +16,41 @@ main(int argc, char **argv)
     const auto opt = bench::parseOptions(argc, argv);
     bench::banner("Fig. 11: HPE evictions vs LRU", opt);
 
+    struct AppResult
+    {
+        std::uint64_t lru75, hpe75, lru50, hpe50;
+    };
+    const auto results =
+        bench::forAllApps(opt, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            RunConfig cfg;
+            cfg.seed = opt.seed;
+            cfg.oversub = 0.75;
+            const auto lru75 = runFunctional(trace, PolicyKind::Lru, cfg);
+            const auto hpe75 = runFunctional(trace, PolicyKind::Hpe, cfg);
+            cfg.oversub = 0.50;
+            const auto lru50 = runFunctional(trace, PolicyKind::Lru, cfg);
+            const auto hpe50 = runFunctional(trace, PolicyKind::Hpe, cfg);
+            return AppResult{lru75.evictions, hpe75.evictions, lru50.evictions,
+                             hpe50.evictions};
+        });
+
     TextTable t({"type", "app", "LRU ev 75%", "HPE ev 75%", "HPE/LRU 75%",
                  "LRU ev 50%", "HPE ev 50%", "HPE/LRU 50%"});
     std::vector<double> r75, r50;
-    for (const std::string &app : bench::allApps()) {
-        const Trace trace = buildApp(app, opt.scale, opt.seed);
-        std::vector<std::string> row{bench::typeOf(app), app};
+    const auto apps = bench::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const AppResult &r = results[i];
+        std::vector<std::string> row{bench::typeOf(apps[i]), apps[i]};
         for (double rate : {0.75, 0.50}) {
-            RunConfig cfg;
-            cfg.oversub = rate;
-            cfg.seed = opt.seed;
-            const auto lru = runFunctional(trace, PolicyKind::Lru, cfg);
-            const auto hpe = runFunctional(trace, PolicyKind::Hpe, cfg);
-            const double ratio = lru.evictions > 0
-                ? static_cast<double>(hpe.evictions)
-                      / static_cast<double>(lru.evictions)
+            const std::uint64_t lru = rate == 0.75 ? r.lru75 : r.lru50;
+            const std::uint64_t hpe = rate == 0.75 ? r.hpe75 : r.hpe50;
+            const double ratio = lru > 0
+                ? static_cast<double>(hpe) / static_cast<double>(lru)
                 : 1.0;
             (rate == 0.75 ? r75 : r50).push_back(ratio);
-            row.push_back(std::to_string(lru.evictions));
-            row.push_back(std::to_string(hpe.evictions));
+            row.push_back(std::to_string(lru));
+            row.push_back(std::to_string(hpe));
             row.push_back(TextTable::num(ratio, 2));
         }
         t.addRow(row);

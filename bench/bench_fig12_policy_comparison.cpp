@@ -25,23 +25,39 @@ main(int argc, char **argv)
 
     for (double rate : {0.75, 0.50}) {
         std::cout << "--- oversubscription " << rate * 100 << "% ---\n";
+        struct AppNorm
+        {
+            std::vector<double> ipc, ev; // aligned with kinds
+        };
+        const auto norms =
+            bench::forAllApps(opt, [&](const std::string &app) {
+                const Trace trace = buildApp(app, opt.scale, opt.seed);
+                RunConfig cfg;
+                cfg.oversub = rate;
+                cfg.seed = opt.seed;
+                const auto ideal_t = runTiming(trace, PolicyKind::Ideal, cfg);
+                const auto ideal_f =
+                    runFunctional(trace, PolicyKind::Ideal, cfg);
+                AppNorm n;
+                for (PolicyKind kind : kinds) {
+                    const auto rt = runTiming(trace, kind, cfg);
+                    const auto rf = runFunctional(trace, kind, cfg);
+                    n.ipc.push_back(rt.ipc / ideal_t.ipc);
+                    n.ev.push_back(ideal_f.evictions > 0
+                        ? static_cast<double>(rf.evictions)
+                              / static_cast<double>(ideal_f.evictions)
+                        : 1.0);
+                }
+                return n;
+            });
+
         // per kind -> per app normalized values
         std::map<PolicyKind, std::map<std::string, double>> ipc_norm, ev_norm;
-        for (const std::string &app : bench::allApps()) {
-            const Trace trace = buildApp(app, opt.scale, opt.seed);
-            RunConfig cfg;
-            cfg.oversub = rate;
-            cfg.seed = opt.seed;
-            const auto ideal_t = runTiming(trace, PolicyKind::Ideal, cfg);
-            const auto ideal_f = runFunctional(trace, PolicyKind::Ideal, cfg);
-            for (PolicyKind kind : kinds) {
-                const auto rt = runTiming(trace, kind, cfg);
-                const auto rf = runFunctional(trace, kind, cfg);
-                ipc_norm[kind][app] = rt.ipc / ideal_t.ipc;
-                ev_norm[kind][app] = ideal_f.evictions > 0
-                    ? static_cast<double>(rf.evictions)
-                          / static_cast<double>(ideal_f.evictions)
-                    : 1.0;
+        const auto apps = bench::allApps();
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            for (std::size_t k = 0; k < kinds.size(); ++k) {
+                ipc_norm[kinds[k]][apps[i]] = norms[i].ipc[k];
+                ev_norm[kinds[k]][apps[i]] = norms[i].ev[k];
             }
         }
 

@@ -17,15 +17,30 @@ main(int argc, char **argv)
     const auto opt = bench::parseOptions(argc, argv);
     bench::banner("Fig. 13: eviction-strategy adjustment breakdown", opt);
 
+    struct AppRuns
+    {
+        InspectableRun r75, r50;
+    };
+    const auto runs = bench::forAllApps(opt, [&](const std::string &app) {
+        const Trace trace = buildApp(app, opt.scale, opt.seed);
+        RunConfig cfg;
+        cfg.seed = opt.seed;
+        AppRuns r;
+        cfg.oversub = 0.75;
+        r.r75 = runFunctionalInspect(trace, PolicyKind::Hpe, cfg);
+        cfg.oversub = 0.50;
+        r.r50 = runFunctionalInspect(trace, PolicyKind::Hpe, cfg);
+        return r;
+    });
+
     TextTable t({"app", "rate", "category", "LRU %", "MRU-C %", "switches",
                  "jumps", "timeline"});
-    for (const std::string &app : bench::allApps()) {
+    const auto apps = bench::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const std::string &app = apps[i];
         for (double rate : {0.75, 0.50}) {
-            const Trace trace = buildApp(app, opt.scale, opt.seed);
-            RunConfig cfg;
-            cfg.oversub = rate;
-            cfg.seed = opt.seed;
-            const auto run = runFunctionalInspect(trace, PolicyKind::Hpe, cfg);
+            const InspectableRun &run =
+                rate == 0.75 ? runs[i].r75 : runs[i].r50;
             const auto &cls = run.hpe()->classification();
             const auto &timeline = run.hpe()->adjustment().timeline();
             const std::uint64_t total = run.hpe()->faultNumber();

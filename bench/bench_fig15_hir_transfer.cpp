@@ -17,14 +17,20 @@ main(int argc, char **argv)
     const auto opt = bench::parseOptions(argc, argv);
     bench::banner("Fig. 15: average HIR entries transferred per flush", opt);
 
-    TextTable t({"app", "flushes", "mean entries", "max entries",
-                 "way-conflict drops", "bytes on PCIe", "mean chain length"});
-    for (const std::string &app : bench::allApps()) {
+    const auto runs = bench::forAllApps(opt, [&](const std::string &app) {
         const Trace trace = buildApp(app, opt.scale, opt.seed);
         RunConfig cfg;
         cfg.oversub = 0.75;
         cfg.seed = opt.seed;
-        const auto run = runTimingInspect(trace, PolicyKind::Hpe, cfg);
+        return runTimingInspect(trace, PolicyKind::Hpe, cfg);
+    });
+
+    TextTable t({"app", "flushes", "mean entries", "max entries",
+                 "way-conflict drops", "bytes on PCIe", "mean chain length"});
+    const auto apps = bench::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const std::string &app = apps[i];
+        const InspectableRun &run = runs[i];
         const auto &d = run.stats->findDistribution("hpe.hir.entriesPerFlush");
         t.addRow({app, std::to_string(d.count()),
                   TextTable::num(d.mean(), 1), TextTable::num(d.maximum(), 0),

@@ -23,20 +23,31 @@ main(int argc, char **argv)
     cfg.oversub = 0.75;
     cfg.seed = opt.seed;
 
+    struct AppResult
+    {
+        std::uint64_t ideal, lru, rrip;
+    };
+    const auto results =
+        bench::forAllApps(opt, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            return AppResult{
+                runFunctional(trace, PolicyKind::Ideal, cfg).evictions,
+                runFunctional(trace, PolicyKind::Lru, cfg).evictions,
+                runFunctional(trace, PolicyKind::Rrip, cfg).evictions};
+        });
+
     TextTable t({"type", "app", "Ideal evictions", "LRU/Ideal", "RRIP/Ideal"});
     std::vector<double> lru_ratios, rrip_ratios;
-    for (const std::string &app : bench::allApps()) {
-        const Trace trace = buildApp(app, opt.scale, opt.seed);
-        const auto ideal = runFunctional(trace, PolicyKind::Ideal, cfg);
-        const auto lru = runFunctional(trace, PolicyKind::Lru, cfg);
-        const auto rrip = runFunctional(trace, PolicyKind::Rrip, cfg);
+    const auto apps = bench::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const AppResult &r = results[i];
         const double base =
-            ideal.evictions > 0 ? static_cast<double>(ideal.evictions) : 1.0;
-        const double lr = static_cast<double>(lru.evictions) / base;
-        const double rr = static_cast<double>(rrip.evictions) / base;
+            r.ideal > 0 ? static_cast<double>(r.ideal) : 1.0;
+        const double lr = static_cast<double>(r.lru) / base;
+        const double rr = static_cast<double>(r.rrip) / base;
         lru_ratios.push_back(lr);
         rrip_ratios.push_back(rr);
-        t.addRow({bench::typeOf(app), app, std::to_string(ideal.evictions),
+        t.addRow({bench::typeOf(apps[i]), apps[i], std::to_string(r.ideal),
                   TextTable::num(lr, 2), TextTable::num(rr, 2)});
     }
     t.addRow({"", "mean", "", TextTable::num(bench::mean(lru_ratios), 2),

@@ -37,24 +37,30 @@ main(int argc, char **argv)
                   opt);
 
     const std::vector<std::uint32_t> sizes = {8, 16, 32};
+    const auto results =
+        bench::forAllApps(opt, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            std::vector<double> per_size;
+            for (std::uint32_t size : sizes) {
+                RunConfig cfg;
+                cfg.oversub = 0.75;
+                cfg.seed = opt.seed;
+                cfg.hpe.pageSetSize = size;
+                cfg.hpe.wrongEvictionThreshold = size;
+                cfg.hpe.hitChannel = HitChannel::Direct;
+                cfg.hpe.dynamicAdjustment = false;
+                cfg.hpe.forcedStrategy = manualStrategy(app);
+                per_size.push_back(runTiming(trace, PolicyKind::Hpe, cfg).ipc);
+            }
+            return per_size;
+        });
+
     // per type -> per size -> IPCs
     std::map<std::string, std::map<std::uint32_t, std::vector<double>>> ipc;
-
-    for (const std::string &app : bench::allApps()) {
-        const Trace trace = buildApp(app, opt.scale, opt.seed);
-        for (std::uint32_t size : sizes) {
-            RunConfig cfg;
-            cfg.oversub = 0.75;
-            cfg.seed = opt.seed;
-            cfg.hpe.pageSetSize = size;
-            cfg.hpe.wrongEvictionThreshold = size;
-            cfg.hpe.hitChannel = HitChannel::Direct;
-            cfg.hpe.dynamicAdjustment = false;
-            cfg.hpe.forcedStrategy = manualStrategy(app);
-            const auto r = runTiming(trace, PolicyKind::Hpe, cfg);
-            ipc[bench::typeOf(app)][size].push_back(r.ipc);
-        }
-    }
+    const auto apps = bench::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        for (std::size_t s = 0; s < sizes.size(); ++s)
+            ipc[bench::typeOf(apps[i])][sizes[s]].push_back(results[i][s]);
 
     TextTable t({"pattern type", "size 8", "size 16", "size 32"});
     for (auto &[type, by_size] : ipc) {

@@ -36,23 +36,30 @@ main(int argc, char **argv)
         "Fig. 8: HPE sensitivity to interval length (IPC, norm. to 32)", opt);
 
     const std::vector<std::uint32_t> intervals = {32, 64, 128};
-    std::map<std::string, std::map<std::uint32_t, std::vector<double>>> ipc;
+    const auto results =
+        bench::forAllApps(opt, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            std::vector<double> per_interval;
+            for (std::uint32_t interval : intervals) {
+                RunConfig cfg;
+                cfg.oversub = 0.75;
+                cfg.seed = opt.seed;
+                cfg.hpe.intervalLength = interval;
+                cfg.hpe.fifoDepth = 2 * interval;
+                cfg.hpe.hitChannel = HitChannel::Direct;
+                cfg.hpe.dynamicAdjustment = false;
+                cfg.hpe.forcedStrategy = manualStrategy(app);
+                per_interval.push_back(
+                    runTiming(trace, PolicyKind::Hpe, cfg).ipc);
+            }
+            return per_interval;
+        });
 
-    for (const std::string &app : bench::allApps()) {
-        const Trace trace = buildApp(app, opt.scale, opt.seed);
-        for (std::uint32_t interval : intervals) {
-            RunConfig cfg;
-            cfg.oversub = 0.75;
-            cfg.seed = opt.seed;
-            cfg.hpe.intervalLength = interval;
-            cfg.hpe.fifoDepth = 2 * interval;
-            cfg.hpe.hitChannel = HitChannel::Direct;
-            cfg.hpe.dynamicAdjustment = false;
-            cfg.hpe.forcedStrategy = manualStrategy(app);
-            const auto r = runTiming(trace, PolicyKind::Hpe, cfg);
-            ipc[bench::typeOf(app)][interval].push_back(r.ipc);
-        }
-    }
+    std::map<std::string, std::map<std::uint32_t, std::vector<double>>> ipc;
+    const auto apps = bench::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        for (std::size_t s = 0; s < intervals.size(); ++s)
+            ipc[bench::typeOf(apps[i])][intervals[s]].push_back(results[i][s]);
 
     TextTable t({"pattern type", "interval 32", "interval 64", "interval 128"});
     for (auto &[type, by_len] : ipc) {

@@ -28,12 +28,17 @@ main(int argc, char **argv)
     cfg.oversub = 0.75;
     cfg.seed = opt.seed;
 
+    const auto runs = bench::forAllApps(opt, [&](const std::string &app) {
+        const Trace trace = buildApp(app, opt.scale, opt.seed);
+        return runFunctionalInspect(trace, PolicyKind::Hpe, cfg);
+    });
+
     TextTable t({"type", "app", "ratio1", "ratio2", "category",
                  "old partition sets"});
-    for (const std::string &app : bench::allApps()) {
-        const Trace trace = buildApp(app, opt.scale, opt.seed);
-        const auto run = runFunctionalInspect(trace, PolicyKind::Hpe, cfg);
-        const auto &cls = run.hpe()->classification();
+    const auto apps = bench::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const std::string &app = apps[i];
+        const auto &cls = runs[i].hpe()->classification();
         if (!cls) {
             t.addRow({bench::typeOf(app), app, "-", "-", "memory never full",
                       "-"});

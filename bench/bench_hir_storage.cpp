@@ -26,16 +26,31 @@ main(int argc, char **argv)
                   << " KB on the GPU (paper: 10 KB, 4.2% of 240 KB L1D)\n\n";
     }
 
+    struct AppRuns
+    {
+        InspectableRun r75, r50;
+    };
+    const auto runs = bench::forAllApps(opt, [&](const std::string &app) {
+        const Trace trace = buildApp(app, opt.scale, opt.seed);
+        RunConfig cfg;
+        cfg.seed = opt.seed;
+        AppRuns r;
+        cfg.oversub = 0.75;
+        r.r75 = runTimingInspect(trace, PolicyKind::Hpe, cfg);
+        cfg.oversub = 0.50;
+        r.r50 = runTimingInspect(trace, PolicyKind::Hpe, cfg);
+        return r;
+    });
+
     TextTable t({"app", "rate", "walk hits", "addr-buffer bytes",
                  "HIR bytes", "saving %"});
     std::vector<double> saving75, saving50;
-    for (const std::string &app : bench::allApps()) {
+    const auto apps = bench::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const std::string &app = apps[i];
         for (double rate : {0.75, 0.50}) {
-            const Trace trace = buildApp(app, opt.scale, opt.seed);
-            RunConfig cfg;
-            cfg.oversub = rate;
-            cfg.seed = opt.seed;
-            const auto run = runTimingInspect(trace, PolicyKind::Hpe, cfg);
+            const InspectableRun &run =
+                rate == 0.75 ? runs[i].r75 : runs[i].r50;
             const std::uint64_t hits =
                 run.stats->findCounter("hpe.hir.hitsRecorded").value();
             // A plain buffer stores one 8 B address per walk hit.

@@ -31,28 +31,44 @@ main(int argc, char **argv)
     const double update_us = 16.1; // paper's worst-case chain update
 
     for (double rate : {0.75, 0.50}) {
-        TextTable t({"policy", "measured load %", "paper-formula load %"});
-        for (PolicyKind kind : kinds) {
-            std::vector<double> measured, formula;
-            for (const std::string &app : bench::allApps()) {
+        struct Load
+        {
+            double measured, formula;
+        };
+        // One job per app; each runs every policy on its trace.
+        const auto per_app =
+            bench::forAllApps(opt, [&](const std::string &app) {
                 const Trace trace = buildApp(app, opt.scale, opt.seed);
-                RunConfig cfg;
-                cfg.oversub = rate;
-                cfg.seed = opt.seed;
-                const auto run = runTimingInspect(trace, kind, cfg);
-                measured.push_back(run.timing.hostLoad * 100.0);
-                double busy_us =
-                    static_cast<double>(run.timing.faults)
-                    * cyclesToMicros(cfg.gpu.driver.faultServiceCycles);
-                if (kind == PolicyKind::Hpe)
-                    busy_us += static_cast<double>(
-                                   run.stats->findCounter("hpe.hirFlushes")
-                                       .value())
-                        * update_us;
-                formula.push_back(100.0 * busy_us
-                                  / cyclesToMicros(run.timing.cycles));
+                std::vector<Load> loads;
+                for (PolicyKind kind : kinds) {
+                    RunConfig cfg;
+                    cfg.oversub = rate;
+                    cfg.seed = opt.seed;
+                    const auto run = runTimingInspect(trace, kind, cfg);
+                    double busy_us =
+                        static_cast<double>(run.timing.faults)
+                        * cyclesToMicros(cfg.gpu.driver.faultServiceCycles);
+                    if (kind == PolicyKind::Hpe)
+                        busy_us += static_cast<double>(
+                                       run.stats->findCounter("hpe.hirFlushes")
+                                           .value())
+                            * update_us;
+                    loads.push_back(
+                        Load{run.timing.hostLoad * 100.0,
+                             100.0 * busy_us
+                                 / cyclesToMicros(run.timing.cycles)});
+                }
+                return loads;
+            });
+
+        TextTable t({"policy", "measured load %", "paper-formula load %"});
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            std::vector<double> measured, formula;
+            for (const auto &loads : per_app) {
+                measured.push_back(loads[k].measured);
+                formula.push_back(loads[k].formula);
             }
-            t.addRow({policyKindName(kind),
+            t.addRow({policyKindName(kinds[k]),
                       TextTable::num(bench::mean(measured), 1),
                       TextTable::num(bench::mean(formula), 1)});
         }

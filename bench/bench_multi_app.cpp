@@ -30,20 +30,34 @@ main(int argc, char **argv)
                                            PolicyKind::ClockPro,
                                            PolicyKind::Hpe, PolicyKind::Ideal};
 
-    for (const auto &[a_name, b_name] : mixes) {
-        const Trace a = buildApp(a_name, opt.scale, opt.seed);
-        const Trace b = buildApp(b_name, opt.scale, opt.seed);
-        const std::size_t frames = static_cast<std::size_t>(
+    struct MixResult
+    {
+        std::size_t frames;
+        std::vector<MultiAppResult> byKind; // aligned with kinds
+    };
+    SweepRunner runner(opt.jobs);
+    const auto results = runner.map(mixes.size(), [&](std::size_t m) {
+        const Trace a = buildApp(mixes[m].first, opt.scale, opt.seed);
+        const Trace b = buildApp(mixes[m].second, opt.scale, opt.seed);
+        MixResult r;
+        r.frames = static_cast<std::size_t>(
             0.6 * static_cast<double>(a.footprintPages()
                                       + b.footprintPages()));
+        for (PolicyKind kind : kinds)
+            r.byKind.push_back(runShared({a, b}, kind, r.frames));
+        return r;
+    });
+
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const auto &[a_name, b_name] = mixes[m];
         std::cout << "--- " << a_name << " + " << b_name << " (memory "
-                  << frames << " frames) ---\n";
+                  << results[m].frames << " frames) ---\n";
         TextTable t({"policy", "total faults",
                      std::string(a_name) + " slowdown",
                      std::string(b_name) + " slowdown", "fairness"});
-        for (PolicyKind kind : kinds) {
-            const auto r = runShared({a, b}, kind, frames);
-            t.addRow({policyKindName(kind), std::to_string(r.totalFaults),
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            const auto &r = results[m].byKind[k];
+            t.addRow({policyKindName(kinds[k]), std::to_string(r.totalFaults),
                       TextTable::num(r.apps[0].slowdown(), 2),
                       TextTable::num(r.apps[1].slowdown(), 2),
                       TextTable::num(r.fairness(), 2)});

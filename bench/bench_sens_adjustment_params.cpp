@@ -15,24 +15,54 @@ main(int argc, char **argv)
     const auto opt = bench::parseOptions(argc, argv);
     bench::banner("Sensitivity: wrong-eviction threshold and FIFO depth", opt);
 
-    const std::vector<const char *> apps = {"SRD", "HSD", "BFS", "HIS", "SAD"};
+    const std::vector<std::string> apps = {"SRD", "HSD", "BFS", "HIS", "SAD"};
+    const std::vector<std::uint32_t> thresholds = {4, 8, 16, 32, 64};
+    const std::vector<std::uint32_t> depths = {32, 64, 128, 256, 512};
+
+    struct AppResult
+    {
+        std::vector<double> faultsT, adjustments; // aligned with thresholds
+        std::vector<double> faultsD, wrong;       // aligned with depths
+    };
+    const auto results =
+        bench::forApps(opt, apps, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            AppResult r;
+            for (std::uint32_t threshold : thresholds) {
+                RunConfig cfg;
+                cfg.oversub = 0.75;
+                cfg.seed = opt.seed;
+                cfg.hpe.wrongEvictionThreshold = threshold;
+                const auto run =
+                    runFunctionalInspect(trace, PolicyKind::Hpe, cfg);
+                r.faultsT.push_back(static_cast<double>(run.paging.faults));
+                r.adjustments.push_back(static_cast<double>(
+                    run.hpe()->adjustment().timeline().size() - 1));
+            }
+            for (std::uint32_t depth : depths) {
+                RunConfig cfg;
+                cfg.oversub = 0.75;
+                cfg.seed = opt.seed;
+                cfg.hpe.fifoDepth = depth;
+                const auto run =
+                    runFunctionalInspect(trace, PolicyKind::Hpe, cfg);
+                r.faultsD.push_back(static_cast<double>(run.paging.faults));
+                r.wrong.push_back(static_cast<double>(
+                    run.stats->findCounter("hpe.adjust.wrongEvictions")
+                        .value()));
+            }
+            return r;
+        });
 
     std::cout << "wrong-eviction threshold (paper: page set size = 16):\n";
     TextTable t1({"threshold", "mean faults", "mean switches+jumps"});
-    for (std::uint32_t threshold : {4u, 8u, 16u, 32u, 64u}) {
+    for (std::size_t s = 0; s < thresholds.size(); ++s) {
         std::vector<double> faults, adjustments;
-        for (const char *app : apps) {
-            const Trace trace = buildApp(app, opt.scale, opt.seed);
-            RunConfig cfg;
-            cfg.oversub = 0.75;
-            cfg.seed = opt.seed;
-            cfg.hpe.wrongEvictionThreshold = threshold;
-            const auto run = runFunctionalInspect(trace, PolicyKind::Hpe, cfg);
-            faults.push_back(static_cast<double>(run.paging.faults));
-            adjustments.push_back(static_cast<double>(
-                run.hpe()->adjustment().timeline().size() - 1));
+        for (const AppResult &r : results) {
+            faults.push_back(r.faultsT[s]);
+            adjustments.push_back(r.adjustments[s]);
         }
-        t1.addRow({std::to_string(threshold),
+        t1.addRow({std::to_string(thresholds[s]),
                    TextTable::num(bench::mean(faults), 0),
                    TextTable::num(bench::mean(adjustments), 1)});
     }
@@ -40,20 +70,13 @@ main(int argc, char **argv)
 
     std::cout << "\nFIFO depth (paper: 2 x interval = 128):\n";
     TextTable t2({"depth", "mean faults", "mean wrong evictions"});
-    for (std::uint32_t depth : {32u, 64u, 128u, 256u, 512u}) {
+    for (std::size_t s = 0; s < depths.size(); ++s) {
         std::vector<double> faults, wrong;
-        for (const char *app : apps) {
-            const Trace trace = buildApp(app, opt.scale, opt.seed);
-            RunConfig cfg;
-            cfg.oversub = 0.75;
-            cfg.seed = opt.seed;
-            cfg.hpe.fifoDepth = depth;
-            const auto run = runFunctionalInspect(trace, PolicyKind::Hpe, cfg);
-            faults.push_back(static_cast<double>(run.paging.faults));
-            wrong.push_back(static_cast<double>(
-                run.stats->findCounter("hpe.adjust.wrongEvictions").value()));
+        for (const AppResult &r : results) {
+            faults.push_back(r.faultsD[s]);
+            wrong.push_back(r.wrong[s]);
         }
-        t2.addRow({std::to_string(depth),
+        t2.addRow({std::to_string(depths[s]),
                    TextTable::num(bench::mean(faults), 0),
                    TextTable::num(bench::mean(wrong), 0)});
     }

@@ -16,7 +16,7 @@ main(int argc, char **argv)
     const auto opt = bench::parseOptions(argc, argv);
     bench::banner("Sensitivity: HIR cache geometry (timing runs)", opt);
 
-    const std::vector<const char *> apps = {"MVT", "GEM", "HSD", "BFS"};
+    const std::vector<std::string> apps = {"MVT", "GEM", "HSD", "BFS"};
 
     struct Geometry
     {
@@ -27,18 +27,28 @@ main(int argc, char **argv)
         {128, 4}, {256, 8}, {512, 8}, {1024, 8}, {1024, 16}, {2048, 8},
     };
 
-    for (const char *app : apps) {
-        const Trace trace = buildApp(app, opt.scale, opt.seed);
-        std::cout << "--- " << app << " ---\n";
+    const auto results =
+        bench::forApps(opt, apps, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            std::vector<InspectableRun> runs;
+            for (const Geometry &g : geometries) {
+                RunConfig cfg;
+                cfg.oversub = 0.75;
+                cfg.seed = opt.seed;
+                cfg.hpe.hirEntries = g.entries;
+                cfg.hpe.hirWays = g.ways;
+                runs.push_back(runTimingInspect(trace, PolicyKind::Hpe, cfg));
+            }
+            return runs;
+        });
+
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        std::cout << "--- " << apps[i] << " ---\n";
         TextTable t({"entries", "ways", "conflict drops", "hits recorded",
                      "faults", "storage KB"});
-        for (const Geometry &g : geometries) {
-            RunConfig cfg;
-            cfg.oversub = 0.75;
-            cfg.seed = opt.seed;
-            cfg.hpe.hirEntries = g.entries;
-            cfg.hpe.hirWays = g.ways;
-            const auto run = runTimingInspect(trace, PolicyKind::Hpe, cfg);
+        for (std::size_t gi = 0; gi < geometries.size(); ++gi) {
+            const Geometry &g = geometries[gi];
+            const InspectableRun &run = results[i][gi];
             t.addRow({std::to_string(g.entries), std::to_string(g.ways),
                       std::to_string(
                           run.stats->findCounter("hpe.hir.conflicts").value()),

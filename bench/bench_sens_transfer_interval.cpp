@@ -18,19 +18,34 @@ main(int argc, char **argv)
 
     TextTable t({"transfer interval", "mean IPC (norm. to 16)",
                  "mean faults (norm. to 16)", "mean PCIe KB"});
+    struct Cell
+    {
+        double ipc, faults, bytes;
+    };
+    const auto per_app =
+        bench::forAllApps(opt, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            std::vector<Cell> cells;
+            for (std::uint32_t interval : intervals) {
+                RunConfig cfg;
+                cfg.oversub = 0.75;
+                cfg.seed = opt.seed;
+                cfg.hpe.transferInterval = interval;
+                const auto run = runTimingInspect(trace, PolicyKind::Hpe, cfg);
+                cells.push_back(Cell{
+                    run.timing.ipc, static_cast<double>(run.timing.faults),
+                    static_cast<double>(
+                        run.stats->findCounter("pcie.bytes").value())});
+            }
+            return cells;
+        });
+
     std::map<std::uint32_t, std::vector<double>> ipc, faults, bytes;
-    for (const std::string &app : bench::allApps()) {
-        const Trace trace = buildApp(app, opt.scale, opt.seed);
-        for (std::uint32_t interval : intervals) {
-            RunConfig cfg;
-            cfg.oversub = 0.75;
-            cfg.seed = opt.seed;
-            cfg.hpe.transferInterval = interval;
-            const auto run = runTimingInspect(trace, PolicyKind::Hpe, cfg);
-            ipc[interval].push_back(run.timing.ipc);
-            faults[interval].push_back(static_cast<double>(run.timing.faults));
-            bytes[interval].push_back(static_cast<double>(
-                run.stats->findCounter("pcie.bytes").value()));
+    for (const auto &cells : per_app) {
+        for (std::size_t s = 0; s < intervals.size(); ++s) {
+            ipc[intervals[s]].push_back(cells[s].ipc);
+            faults[intervals[s]].push_back(cells[s].faults);
+            bytes[intervals[s]].push_back(cells[s].bytes);
         }
     }
     const double ipc16 = bench::mean(ipc[16]);

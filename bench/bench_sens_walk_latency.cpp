@@ -14,24 +14,39 @@ main(int argc, char **argv)
     const auto opt = bench::parseOptions(argc, argv);
     bench::banner("Sensitivity: page walk latency 8 vs 20 cycles", opt);
 
-    TextTable t({"app", "LRU IPC (8)", "LRU IPC (20)", "LRU delta %",
-                 "HPE IPC (8)", "HPE IPC (20)", "HPE delta %"});
-    std::vector<double> lru_delta, hpe_delta;
-    for (const std::string &app : bench::allApps()) {
-        const Trace trace = buildApp(app, opt.scale, opt.seed);
-        std::vector<std::string> row{app};
-        for (PolicyKind kind : {PolicyKind::Lru, PolicyKind::Hpe}) {
+    struct AppResult
+    {
+        double lru8, lru20, hpe8, hpe20;
+    };
+    const auto results =
+        bench::forAllApps(opt, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
             RunConfig fast, slow;
             fast.oversub = slow.oversub = 0.75;
             fast.seed = slow.seed = opt.seed;
             fast.gpu.walkLatency = 8;
             slow.gpu.walkLatency = 20;
-            const auto a = runTiming(trace, kind, fast);
-            const auto b = runTiming(trace, kind, slow);
-            const double delta = 100.0 * (b.ipc - a.ipc) / a.ipc;
+            return AppResult{
+                runTiming(trace, PolicyKind::Lru, fast).ipc,
+                runTiming(trace, PolicyKind::Lru, slow).ipc,
+                runTiming(trace, PolicyKind::Hpe, fast).ipc,
+                runTiming(trace, PolicyKind::Hpe, slow).ipc};
+        });
+
+    TextTable t({"app", "LRU IPC (8)", "LRU IPC (20)", "LRU delta %",
+                 "HPE IPC (8)", "HPE IPC (20)", "HPE delta %"});
+    std::vector<double> lru_delta, hpe_delta;
+    const auto apps = bench::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const AppResult &r = results[i];
+        std::vector<std::string> row{apps[i]};
+        for (PolicyKind kind : {PolicyKind::Lru, PolicyKind::Hpe}) {
+            const double a = kind == PolicyKind::Lru ? r.lru8 : r.hpe8;
+            const double b = kind == PolicyKind::Lru ? r.lru20 : r.hpe20;
+            const double delta = 100.0 * (b - a) / a;
             (kind == PolicyKind::Lru ? lru_delta : hpe_delta).push_back(delta);
-            row.push_back(TextTable::num(a.ipc, 4));
-            row.push_back(TextTable::num(b.ipc, 4));
+            row.push_back(TextTable::num(a, 4));
+            row.push_back(TextTable::num(b, 4));
             row.push_back(TextTable::num(delta, 2));
         }
         t.addRow(row);

@@ -13,16 +13,27 @@ main(int argc, char **argv)
     const auto opt = bench::parseOptions(argc, argv);
     bench::banner("Table II: workload characteristics", opt);
 
+    struct AppResult
+    {
+        std::size_t footprint, visits, kernels;
+    };
+    const auto results =
+        bench::forAllApps(opt, [&](const std::string &app) {
+            const Trace trace = buildApp(app, opt.scale, opt.seed);
+            return AppResult{trace.footprintPages(), trace.size(),
+                             trace.kernelCount()};
+        });
+
     TextTable t({"type", "suite", "app", "abbr", "footprint (pages)",
                  "footprint (MB)", "visits", "kernels"});
+    std::size_t i = 0;
     for (const AppSpec &spec : appSpecs()) {
-        const Trace trace = buildApp(spec.abbr, opt.scale, opt.seed);
-        const double mb = static_cast<double>(trace.footprintPages())
+        const AppResult &r = results[i++];
+        const double mb = static_cast<double>(r.footprint)
             * static_cast<double>(kPageBytes) / (1024.0 * 1024.0);
         t.addRow({patternName(spec.type), spec.suite, spec.name, spec.abbr,
-                  std::to_string(trace.footprintPages()),
-                  TextTable::num(mb, 1), std::to_string(trace.size()),
-                  std::to_string(trace.kernelCount())});
+                  std::to_string(r.footprint), TextTable::num(mb, 1),
+                  std::to_string(r.visits), std::to_string(r.kernels)});
     }
     t.print();
     return 0;

@@ -6,6 +6,7 @@
 
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 #include "workload/apps.hpp"
 #include "workload/trace_io.hpp"
 
@@ -135,24 +136,96 @@ int
 compareCommand(const Args &args, std::ostream &os)
 {
     args.allowOnly(withChaosOptions(
-        {"app", "oversub", "scale", "seed", "extended", "csv"}));
+        {"app", "oversub", "scale", "seed", "extended", "csv", "jobs"}));
     const auto opt = commonOptions(args);
     const auto &kinds =
         args.has("extended") ? extendedPolicyKinds() : allPolicyKinds();
 
+    // One job per policy; collection by policy index keeps the table
+    // byte-identical for every --jobs value.
+    struct Row
+    {
+        PagingResult functional;
+        TimingResult timing;
+    };
+    SweepRunner runner(static_cast<unsigned>(args.getUint("jobs", 0)));
+    const auto rows = runner.map(kinds.size(), [&](std::size_t i) {
+        return Row{runFunctional(opt.trace, kinds[i], opt.cfg),
+                   runTiming(opt.trace, kinds[i], opt.cfg)};
+    });
+
     if (args.has("csv"))
         os << "policy,faults,evictions,ipc\n";
     TextTable t({"policy", "faults", "evictions", "IPC"});
-    for (PolicyKind kind : kinds) {
-        const auto f = runFunctional(opt.trace, kind, opt.cfg);
-        const auto timing = runTiming(opt.trace, kind, opt.cfg);
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        const Row &row = rows[i];
         if (args.has("csv")) {
-            os << policyKindName(kind) << "," << f.faults << ","
-               << f.evictions << "," << timing.ipc << "\n";
+            os << policyKindName(kinds[i]) << "," << row.functional.faults
+               << "," << row.functional.evictions << "," << row.timing.ipc
+               << "\n";
         } else {
-            t.addRow({policyKindName(kind), std::to_string(f.faults),
-                      std::to_string(f.evictions),
-                      TextTable::num(timing.ipc, 4)});
+            t.addRow({policyKindName(kinds[i]),
+                      std::to_string(row.functional.faults),
+                      std::to_string(row.functional.evictions),
+                      TextTable::num(row.timing.ipc, 4)});
+        }
+    }
+    if (!args.has("csv"))
+        t.print(os);
+    return 0;
+}
+
+int
+sweepCommand(const Args &args, std::ostream &os)
+{
+    args.allowOnly({"oversub", "scale", "seed", "extended", "csv",
+                    "functional", "jobs"});
+    const double scale = args.getDouble("scale", 1.0);
+    const std::uint64_t seed = args.getUint("seed", 1);
+    const bool functional = args.has("functional");
+    RunConfig cfg;
+    cfg.oversub = args.getDouble("oversub", 0.75);
+    cfg.seed = seed;
+    const auto &kinds =
+        args.has("extended") ? extendedPolicyKinds() : allPolicyKinds();
+
+    std::vector<std::string> apps;
+    for (const AppSpec &spec : appSpecs())
+        apps.push_back(spec.abbr);
+
+    SweepRunner runner(static_cast<unsigned>(args.getUint("jobs", 0)));
+    // Traces are built once, in parallel, then shared read-only by the
+    // (app x policy) jobs.
+    const auto traces = runner.mapItems(
+        apps, [&](const std::string &abbr) { return buildApp(abbr, scale, seed); });
+
+    std::vector<SweepJob> jobs;
+    jobs.reserve(apps.size() * kinds.size());
+    for (const Trace &trace : traces)
+        for (PolicyKind kind : kinds)
+            jobs.push_back(SweepJob{&trace, kind, cfg, functional});
+    const auto outcomes = runner.run(jobs);
+
+    // Serial reduction in job order: output is independent of --jobs.
+    if (args.has("csv"))
+        os << "app,policy,oversub,faults,evictions,ipc\n";
+    TextTable t({"app", "policy", "faults", "evictions", "IPC"});
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const std::string &app = apps[i / kinds.size()];
+        const PolicyKind kind = kinds[i % kinds.size()];
+        const std::uint64_t faults = functional ? outcomes[i].paging.faults
+                                                : outcomes[i].timing.faults;
+        const std::uint64_t evictions = functional
+            ? outcomes[i].paging.evictions
+            : outcomes[i].timing.evictions;
+        const double ipc = functional ? 0.0 : outcomes[i].timing.ipc;
+        if (args.has("csv")) {
+            os << app << "," << policyKindName(kind) << "," << cfg.oversub
+               << "," << faults << "," << evictions << "," << ipc << "\n";
+        } else {
+            t.addRow({app, policyKindName(kind), std::to_string(faults),
+                      std::to_string(evictions),
+                      functional ? "-" : TextTable::num(ipc, 4)});
         }
     }
     if (!args.has("csv"))
@@ -210,10 +283,17 @@ printUsage(std::ostream &os)
           "           [--chaos-walk-error P]\n"
           "  compare  every policy on one app\n"
           "           --app HSD [--oversub 0.75] [--extended] [--csv]\n"
-          "           [chaos options as for run]\n"
+          "           [--jobs N] [chaos options as for run]\n"
+          "  sweep    every policy on every Table II app, in parallel\n"
+          "           [--oversub 0.75] [--functional] [--extended] [--csv]\n"
+          "           [--scale 1.0] [--seed 1] [--jobs N]\n"
           "  trace    write an application's page-visit trace to a file\n"
           "           --app HSD --out hsd.trace\n"
-          "  list     available applications and policies\n";
+          "  list     available applications and policies\n"
+          "\n"
+          "--jobs N fans independent simulations across N threads (default:\n"
+          "HPE_JOBS env, else all hardware threads); results are collected\n"
+          "in job order, so output is byte-identical for every N.\n";
 }
 
 int
@@ -223,6 +303,8 @@ dispatch(const Args &args, std::ostream &os)
         return runCommand(args, os);
     if (args.command() == "compare")
         return compareCommand(args, os);
+    if (args.command() == "sweep")
+        return sweepCommand(args, os);
     if (args.command() == "trace")
         return traceCommand(args, os);
     if (args.command() == "list")

@@ -18,6 +18,9 @@ int runCommand(const Args &args, std::ostream &os);
 /** `hpe_sim compare`: all policies on one app. */
 int compareCommand(const Args &args, std::ostream &os);
 
+/** `hpe_sim sweep`: all policies on all apps, fanned across --jobs. */
+int sweepCommand(const Args &args, std::ostream &os);
+
 /** `hpe_sim trace`: write an application's trace to a file. */
 int traceCommand(const Args &args, std::ostream &os);
 

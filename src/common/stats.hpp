@@ -11,9 +11,10 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
 #include <ostream>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/log.hpp"
 
@@ -107,11 +108,11 @@ class StatRegistry
     void
     dump(std::ostream &os) const
     {
-        for (const auto &[name, c] : counters_)
-            os << name << " " << c.value() << "\n";
-        for (const auto &[name, d] : dists_) {
-            os << name << " count=" << d.count() << " mean=" << d.mean()
-               << " min=" << d.minimum() << " max=" << d.maximum() << "\n";
+        for (const auto &[name, c] : sortedByName(counters_))
+            os << *name << " " << c->value() << "\n";
+        for (const auto &[name, d] : sortedByName(dists_)) {
+            os << *name << " count=" << d->count() << " mean=" << d->mean()
+               << " min=" << d->minimum() << " max=" << d->maximum() << "\n";
         }
     }
 
@@ -120,11 +121,11 @@ class StatRegistry
     dumpCsv(std::ostream &os) const
     {
         os << "name,count,value,mean,min,max\n";
-        for (const auto &[name, c] : counters_)
-            os << name << ",1," << c.value() << ",,,\n";
-        for (const auto &[name, d] : dists_) {
-            os << name << "," << d.count() << ",," << d.mean() << ","
-               << d.minimum() << "," << d.maximum() << "\n";
+        for (const auto &[name, c] : sortedByName(counters_))
+            os << *name << ",1," << c->value() << ",,,\n";
+        for (const auto &[name, d] : sortedByName(dists_)) {
+            os << *name << "," << d->count() << ",," << d->mean() << ","
+               << d->minimum() << "," << d->maximum() << "\n";
         }
     }
 
@@ -139,8 +140,26 @@ class StatRegistry
     }
 
   private:
-    std::map<std::string, Counter> counters_;
-    std::map<std::string, Distribution> dists_;
+    // The registries are hot on the simulation path only through the
+    // references handed out by counter()/distribution(); unordered_map keeps
+    // registration cheap while its node stability keeps those references
+    // valid.  Reports sort at dump time so the output stays byte-identical
+    // to the ordered-map storage this replaced.
+    template <typename Map>
+    static std::vector<std::pair<const std::string *, const typename Map::mapped_type *>>
+    sortedByName(const Map &map)
+    {
+        std::vector<std::pair<const std::string *, const typename Map::mapped_type *>> items;
+        items.reserve(map.size());
+        for (const auto &[name, v] : map)
+            items.emplace_back(&name, &v);
+        std::sort(items.begin(), items.end(),
+                  [](const auto &a, const auto &b) { return *a.first < *b.first; });
+        return items;
+    }
+
+    std::unordered_map<std::string, Counter> counters_;
+    std::unordered_map<std::string, Distribution> dists_;
 };
 
 } // namespace hpe

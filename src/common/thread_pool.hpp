@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Fixed-size worker pool with a chunk-free dynamic parallel-for.
+ *
+ * The sweep engine runs many independent (trace, policy, configuration)
+ * simulations; their durations vary by an order of magnitude (a timing
+ * run of a type-II workload versus a functional run of a streaming one),
+ * so static chunking would leave workers idle.  parallelFor() instead
+ * hands out indices one at a time through a shared atomic cursor —
+ * effectively work stealing at index granularity, which self-balances
+ * without any per-job bookkeeping.
+ *
+ * Guarantees:
+ *
+ *  - every index in [0, n) is executed exactly once, on some thread;
+ *  - the calling thread participates (a pool of `t` threads applies `t`
+ *    ways of parallelism, not `t + 1`);
+ *  - exceptions: every index still runs; afterwards the exception thrown
+ *    by the lowest failing index is rethrown on the caller.  The serial
+ *    path (1 thread, 1 index, or a nested call) follows the same rule,
+ *    so behaviour is mode-independent;
+ *  - a parallelFor() issued from inside a running batch (nested
+ *    parallelism) executes inline on the calling thread — the pool never
+ *    deadlocks on itself.
+ *
+ * Determinism is the caller's contract: parallelFor() imposes no order,
+ * so callers must write results into per-index slots and reduce them in
+ * index order afterwards (what SweepRunner does).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+/** Persistent worker pool; see file comment for the execution contract. */
+class ThreadPool
+{
+  public:
+    /** Hardware concurrency with a sane floor (never 0). */
+    static unsigned
+    hardwareThreads()
+    {
+        const unsigned n = std::thread::hardware_concurrency();
+        return n > 0 ? n : 1;
+    }
+
+    /** @param threads parallelism degree; 0 selects hardwareThreads(). */
+    explicit ThreadPool(unsigned threads = 0)
+        : threads_(threads == 0 ? hardwareThreads() : threads)
+    {
+        workers_.reserve(threads_ - 1);
+        for (unsigned t = 1; t < threads_; ++t)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (std::thread &w : workers_)
+            w.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Parallelism degree (including the calling thread). */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Run fn(i) for every i in [0, n), distributing indices across the
+     * pool; blocks until all complete.  See the file comment for the
+     * exception and nesting contract.
+     */
+    void
+    parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+    {
+        if (n == 0)
+            return;
+        if (workers_.empty() || n == 1 || insideBatch()) {
+            runSerial(n, fn);
+            return;
+        }
+
+        Batch batch(n, fn);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            HPE_ASSERT(current_ == nullptr, "overlapping parallelFor batches");
+            current_ = &batch;
+            ++generation_;
+            unfinished_ = static_cast<unsigned>(workers_.size());
+        }
+        wake_.notify_all();
+
+        insideBatch() = true;
+        runShare(batch);
+        insideBatch() = false;
+
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            done_.wait(lock, [this] { return unfinished_ == 0; });
+            current_ = nullptr;
+        }
+        if (batch.error)
+            std::rethrow_exception(batch.error);
+    }
+
+  private:
+    /** One parallelFor invocation's shared state. */
+    struct Batch
+    {
+        Batch(std::size_t count, const std::function<void(std::size_t)> &f)
+            : n(count), fn(f)
+        {}
+
+        const std::size_t n;
+        const std::function<void(std::size_t)> &fn;
+        std::atomic<std::size_t> next{0};
+
+        std::mutex errorMutex;
+        std::size_t errorIndex = 0;
+        std::exception_ptr error;
+
+        void
+        record(std::size_t index, std::exception_ptr e)
+        {
+            std::lock_guard<std::mutex> lock(errorMutex);
+            if (!error || index < errorIndex) {
+                error = e;
+                errorIndex = index;
+            }
+        }
+    };
+
+    /** Per-thread nesting flag; nested parallelFor calls run inline. */
+    static bool &
+    insideBatch()
+    {
+        thread_local bool inside = false;
+        return inside;
+    }
+
+    /** Serial path, same run-all / lowest-failure semantics as parallel. */
+    static void
+    runSerial(std::size_t n, const std::function<void(std::size_t)> &fn)
+    {
+        std::exception_ptr error;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
+    }
+
+    /** Pull indices from the cursor until the batch is drained. */
+    static void
+    runShare(Batch &batch)
+    {
+        for (;;) {
+            const std::size_t i =
+                batch.next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= batch.n)
+                return;
+            try {
+                batch.fn(i);
+            } catch (...) {
+                batch.record(i, std::current_exception());
+            }
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            Batch *batch = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+                if (stop_)
+                    return;
+                seen = generation_;
+                batch = current_;
+            }
+            insideBatch() = true;
+            runShare(*batch);
+            insideBatch() = false;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (--unfinished_ == 0)
+                    done_.notify_all();
+            }
+        }
+    }
+
+    const unsigned threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::uint64_t generation_ = 0;
+    unsigned unfinished_ = 0;
+    Batch *current_ = nullptr;
+    bool stop_ = false;
+};
+
+} // namespace hpe

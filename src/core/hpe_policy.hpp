@@ -54,6 +54,8 @@ class HpePolicy : public EvictionPolicy
     void onMigrateIn(PageId page) override;
     std::string name() const override { return "HPE"; }
 
+    void reserveCapacity(std::size_t frames) override { resident_.reserve(frames); }
+
     std::optional<std::vector<PageId>>
     trackedResidentPages() const override
     {

@@ -101,9 +101,10 @@ class StateValidator
     void
     checkDirty() const
     {
-        for (PageId page : uvm_.dirtyPages())
+        uvm_.dirtyPages().forEach([this](PageId page) {
             if (!uvm_.pageTable().resident(page))
                 fail(strformat("dirty page {:#x} is not resident", page));
+        });
     }
 
     void

@@ -36,6 +36,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "driver/resilience.hpp"
+#include "mem/page_index.hpp"
 #include "mem/page_table.hpp"
 #include "mem/radix_page_table.hpp"
 #include "policy/eviction_policy.hpp"
@@ -78,7 +79,11 @@ class UvmMemoryManager
           refaults_(stats.counter(name + ".refaults")),
           dirtyEvictions_(stats.counter(name + ".dirtyEvictions")),
           prefetches_(stats.counter(name + ".prefetches"))
-    {}
+    {
+        // Memory capacity bounds every policy's resident-page bookkeeping;
+        // letting it pre-size its indices keeps rehashing off the fault path.
+        policy.reserveCapacity(num_frames);
+    }
 
     /** True if @p page is mapped in GPU memory. */
     bool resident(PageId page) const { return table_.resident(page); }
@@ -137,7 +142,7 @@ class UvmMemoryManager
                 lastTouch_.erase(victim);
             out.evicted = true;
             out.victim = victim;
-            out.victimDirty = dirty_.erase(victim) > 0;
+            out.victimDirty = dirty_.erase(victim);
             if (out.victimDirty)
                 ++dirtyEvictions_;
             if (evictHook_)
@@ -241,7 +246,7 @@ class UvmMemoryManager
     PageTable &pageTable() { return table_; }
     const FrameAllocator &frames() const { return frames_; }
     EvictionPolicy &policy() { return policy_; }
-    const std::unordered_set<PageId> &dirtyPages() const { return dirty_; }
+    const DensePageSet &dirtyPages() const { return dirty_; }
     std::size_t capacity() const { return frames_.capacity(); }
     std::size_t residentPages() const { return table_.size(); }
 
@@ -293,8 +298,8 @@ class UvmMemoryManager
     EvictHook evictHook_;
     ValidateHook validateHook_;
     RadixPageTable *radixMirror_ = nullptr;
-    std::unordered_set<PageId> evictedOnce_;
-    std::unordered_set<PageId> dirty_;
+    DensePageSet evictedOnce_;
+    DensePageSet dirty_;
 
     /** @{ graceful degradation (allocated by enableDegradation only) */
     std::unique_ptr<ThrashingDetector> detector_;

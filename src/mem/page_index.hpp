@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Dense page-keyed containers for the fault hot path.
+ *
+ * Every reference the functional simulator replays consults page-keyed
+ * state at least twice (residency, then policy/dirty bookkeeping).  The
+ * traces address a small, bounded page-id space starting near zero, so a
+ * direct-indexed array beats a hash map: no hashing, no probing, one
+ * cache line per query.  Page ids outside the dense window — in practice
+ * only the multi-app driver's address-space slices, which set bit 40 —
+ * fall back to a hash container, so correctness never depends on the
+ * bound.
+ *
+ * The dense window grows lazily to the highest page actually touched
+ * (rounded up to a power of two), so memory tracks the workload
+ * footprint, not the configured limit.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hpe {
+
+/**
+ * Pages below this id use direct indexing (4 M pages = 16 GB of virtual
+ * address space at 4 KB); pages above it use the overflow hash container.
+ */
+inline constexpr PageId kDensePageLimit = PageId{1} << 22;
+
+/**
+ * Page -> V map: direct-indexed below kDensePageLimit, hashed above.
+ * @p Invalid marks empty dense slots and must never be stored as a value.
+ */
+template <typename V, V Invalid>
+class DensePageMap
+{
+  public:
+    /** @return the value of @p page, or Invalid if absent. */
+    V
+    lookup(PageId page) const
+    {
+        if (page < dense_.size()) [[likely]]
+            return dense_[page];
+        if (page < kDensePageLimit)
+            return Invalid;
+        auto it = overflow_.find(page);
+        return it == overflow_.end() ? Invalid : it->second;
+    }
+
+    bool contains(PageId page) const { return lookup(page) != Invalid; }
+
+    /** Insert (@p page -> @p value); @p page must be absent. */
+    void
+    insert(PageId page, V value)
+    {
+        if (page < kDensePageLimit) {
+            if (page >= dense_.size())
+                grow(page);
+            dense_[page] = value;
+        } else {
+            overflow_.emplace(page, value);
+        }
+        ++size_;
+    }
+
+    /** Remove @p page. @return its value, or Invalid if it was absent. */
+    V
+    erase(PageId page)
+    {
+        if (page < dense_.size()) {
+            const V old = dense_[page];
+            if (old != Invalid) {
+                dense_[page] = Invalid;
+                --size_;
+            }
+            return old;
+        }
+        if (page < kDensePageLimit)
+            return Invalid;
+        auto it = overflow_.find(page);
+        if (it == overflow_.end())
+            return Invalid;
+        const V old = it->second;
+        overflow_.erase(it);
+        --size_;
+        return old;
+    }
+
+    std::size_t size() const { return size_; }
+
+    /** Visit every (page, value) pair: dense ascending, then overflow. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (PageId page = 0; page < dense_.size(); ++page)
+            if (dense_[page] != Invalid)
+                fn(page, dense_[page]);
+        for (const auto &[page, value] : overflow_)
+            fn(page, value);
+    }
+
+  private:
+    void
+    grow(PageId page)
+    {
+        std::size_t capacity = dense_.empty() ? 1024 : dense_.size();
+        while (capacity <= page)
+            capacity *= 2;
+        dense_.resize(capacity, Invalid);
+    }
+
+    std::vector<V> dense_;
+    std::unordered_map<PageId, V> overflow_;
+    std::size_t size_ = 0;
+};
+
+/** Page set: one bit per page below kDensePageLimit, hashed above. */
+class DensePageSet
+{
+  public:
+    bool
+    contains(PageId page) const
+    {
+        const std::size_t word = static_cast<std::size_t>(page >> 6);
+        if (word < bits_.size()) [[likely]]
+            return (bits_[word] >> (page & 63)) & 1;
+        if (page < kDensePageLimit)
+            return false;
+        return overflow_.contains(page);
+    }
+
+    /** @return true if @p page was newly inserted. */
+    bool
+    insert(PageId page)
+    {
+        if (page < kDensePageLimit) {
+            const std::size_t word = static_cast<std::size_t>(page >> 6);
+            if (word >= bits_.size())
+                grow(word);
+            const std::uint64_t mask = std::uint64_t{1} << (page & 63);
+            if (bits_[word] & mask)
+                return false;
+            bits_[word] |= mask;
+            ++size_;
+            return true;
+        }
+        const bool inserted = overflow_.insert(page).second;
+        size_ += inserted ? 1 : 0;
+        return inserted;
+    }
+
+    /** @return true if @p page was present and removed. */
+    bool
+    erase(PageId page)
+    {
+        const std::size_t word = static_cast<std::size_t>(page >> 6);
+        if (word < bits_.size()) {
+            const std::uint64_t mask = std::uint64_t{1} << (page & 63);
+            if (!(bits_[word] & mask))
+                return false;
+            bits_[word] &= ~mask;
+            --size_;
+            return true;
+        }
+        if (page < kDensePageLimit)
+            return false;
+        const bool erased = overflow_.erase(page) > 0;
+        size_ -= erased ? 1 : 0;
+        return erased;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void
+    clear()
+    {
+        bits_.clear();
+        overflow_.clear();
+        size_ = 0;
+    }
+
+    /** Visit every member page: dense ascending, then overflow. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t word = 0; word < bits_.size(); ++word) {
+            std::uint64_t w = bits_[word];
+            while (w != 0) {
+                const unsigned bit = static_cast<unsigned>(__builtin_ctzll(w));
+                fn(static_cast<PageId>(word * 64 + bit));
+                w &= w - 1;
+            }
+        }
+        for (PageId page : overflow_)
+            fn(page);
+    }
+
+  private:
+    void
+    grow(std::size_t word)
+    {
+        std::size_t capacity = bits_.empty() ? 16 : bits_.size();
+        while (capacity <= word)
+            capacity *= 2;
+        bits_.resize(capacity, 0);
+    }
+
+    std::vector<std::uint64_t> bits_;
+    std::unordered_set<PageId> overflow_;
+    std::size_t size_ = 0;
+};
+
+} // namespace hpe

@@ -7,50 +7,45 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "mem/page_index.hpp"
 
 namespace hpe {
 
 /**
  * Maps virtual pages to GPU physical frames.
  *
- * The walker consults this table; the driver installs and removes mappings
- * as pages migrate in and out of GPU memory.
+ * The walker consults this table on every translation and the driver on
+ * every reference, so the backing store is a dense direct-indexed array
+ * over the trace's bounded page-id space (with a hash fallback for
+ * out-of-window ids; see mem/page_index.hpp) rather than a hash map.
  */
 class PageTable
 {
   public:
     /** @return the frame of @p page, or kInvalidId if not resident. */
-    FrameId
-    lookup(PageId page) const
-    {
-        auto it = map_.find(page);
-        return it == map_.end() ? kInvalidId : it->second;
-    }
+    FrameId lookup(PageId page) const { return map_.lookup(page); }
 
     /** True if @p page currently has a GPU mapping. */
-    bool resident(PageId page) const { return map_.contains(page); }
+    bool resident(PageId page) const { return map_.lookup(page) != kInvalidId; }
 
     /** Install a mapping; @p page must not already be mapped. */
     void
     map(PageId page, FrameId frame)
     {
-        auto [it, inserted] = map_.emplace(page, frame);
-        HPE_ASSERT(inserted, "double map of page {:#x}", page);
+        HPE_ASSERT(!resident(page), "double map of page {:#x}", page);
+        map_.insert(page, frame);
     }
 
     /** Remove the mapping of @p page. @return the frame it occupied. */
     FrameId
     unmap(PageId page)
     {
-        auto it = map_.find(page);
-        HPE_ASSERT(it != map_.end(), "unmap of non-resident page {:#x}", page);
-        FrameId frame = it->second;
-        map_.erase(it);
+        const FrameId frame = map_.erase(page);
+        HPE_ASSERT(frame != kInvalidId, "unmap of non-resident page {:#x}", page);
         return frame;
     }
 
@@ -62,12 +57,11 @@ class PageTable
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &[page, frame] : map_)
-            fn(page, frame);
+        map_.forEach(fn);
     }
 
   private:
-    std::unordered_map<PageId, FrameId> map_;
+    DensePageMap<FrameId, kInvalidId> map_;
 };
 
 /**

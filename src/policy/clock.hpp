@@ -75,6 +75,8 @@ class ClockPolicy : public EvictionPolicy
 
     std::string name() const override { return "CLOCK"; }
 
+    void reserveCapacity(std::size_t frames) override { nodes_.reserve(frames); }
+
     std::optional<std::vector<PageId>>
     trackedResidentPages() const override
     {

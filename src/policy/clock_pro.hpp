@@ -52,6 +52,9 @@ class ClockProPolicy : public EvictionPolicy
     void onMigrateIn(PageId page) override;
     std::string name() const override { return "CLOCK-Pro"; }
 
+    // CLOCK-Pro tracks non-resident (test) pages too, up to ~2x memory.
+    void reserveCapacity(std::size_t frames) override { nodes_.reserve(2 * frames); }
+
     std::optional<std::vector<PageId>> trackedResidentPages() const override;
 
     /** @{ introspection for tests */

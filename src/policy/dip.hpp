@@ -117,6 +117,8 @@ class DipPolicy : public EvictionPolicy
 
     std::string name() const override { return "DIP"; }
 
+    void reserveCapacity(std::size_t frames) override { nodes_.reserve(frames); }
+
     std::optional<std::vector<PageId>>
     trackedResidentPages() const override
     {

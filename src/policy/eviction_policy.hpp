@@ -54,6 +54,15 @@ class EvictionPolicy
     virtual std::string name() const = 0;
 
     /**
+     * Hint that at most @p frames pages will ever be resident at once —
+     * the driver calls this once with the GPU memory capacity before the
+     * first event, so policies can pre-size their indices and keep
+     * rehashing/reallocation off the fault path.  Purely a performance
+     * hint: it must not change any eviction decision.
+     */
+    virtual void reserveCapacity(std::size_t frames) { (void)frames; }
+
+    /**
      * The pages this policy currently believes are resident, in no
      * particular order — consumed by the cross-layer StateValidator to
      * check policy bookkeeping against the page table and frame pool.

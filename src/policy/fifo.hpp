@@ -51,6 +51,8 @@ class FifoPolicy : public EvictionPolicy
 
     std::string name() const override { return "FIFO"; }
 
+    void reserveCapacity(std::size_t frames) override { resident_.reserve(frames); }
+
     std::optional<std::vector<PageId>>
     trackedResidentPages() const override
     {

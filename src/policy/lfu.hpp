@@ -7,10 +7,10 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
-#include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "common/log.hpp"
 #include "common/types.hpp"
@@ -19,8 +19,16 @@
 namespace hpe {
 
 /**
- * Exact least-frequently-used with FIFO tie-breaking, O(log n) per
- * operation via a (frequency, sequence) ordered index.
+ * Exact least-frequently-used with FIFO tie-breaking.
+ *
+ * The victim index is a lazy-deletion binary min-heap over
+ * (frequency, sequence) instead of an ordered map: hits and migrations
+ * push a fresh entry and leave the superseded one in place, and
+ * selectVictim() pops stale entries (sequence mismatch, or no longer
+ * resident) until the top is live.  Sequence numbers are unique, so the
+ * heap order — and therefore every victim — is exactly the ordered-map
+ * minimum this replaced.  A rebuild pass compacts the heap whenever
+ * stale entries outnumber live pages.
  */
 class LfuPolicy : public EvictionPolicy
 {
@@ -39,8 +47,17 @@ class LfuPolicy : public EvictionPolicy
     PageId
     selectVictim() override
     {
-        HPE_ASSERT(!index_.empty(), "LFU victim request with no pages");
-        return index_.begin()->second;
+        HPE_ASSERT(resident_ > 0, "LFU victim request with no pages");
+        while (true) {
+            HPE_ASSERT(!heap_.empty(), "LFU heap lost a resident page");
+            const Entry &top = heap_.front();
+            auto it = pages_.find(top.page);
+            if (it != pages_.end() && it->second.resident
+                && it->second.sequence == top.sequence)
+                return top.page;
+            std::pop_heap(heap_.begin(), heap_.end(), Greater{});
+            heap_.pop_back();
+        }
     }
 
     void
@@ -48,9 +65,10 @@ class LfuPolicy : public EvictionPolicy
     {
         auto it = pages_.find(page);
         HPE_ASSERT(it != pages_.end(), "evicting untracked page {:#x}", page);
-        index_.erase(Key{it->second.frequency, it->second.sequence});
-        // Frequency survives eviction so a returning page keeps history.
+        // Frequency survives eviction so a returning page keeps history;
+        // the heap entry goes stale and is popped or compacted lazily.
         it->second.resident = false;
+        --resident_;
     }
 
     void
@@ -61,18 +79,27 @@ class LfuPolicy : public EvictionPolicy
         st.resident = true;
         ++st.frequency;
         st.sequence = ++clock_;
-        index_.emplace(Key{st.frequency, st.sequence}, page);
+        ++resident_;
+        push(st, page);
     }
 
     std::string name() const override { return "LFU"; }
+
+    void
+    reserveCapacity(std::size_t frames) override
+    {
+        pages_.reserve(frames);
+        heap_.reserve(2 * frames + 64);
+    }
 
     std::optional<std::vector<PageId>>
     trackedResidentPages() const override
     {
         std::vector<PageId> pages;
-        pages.reserve(index_.size());
-        for (const auto &[key, page] : index_)
-            pages.push_back(page);
+        pages.reserve(resident_);
+        for (const auto &[page, st] : pages_)
+            if (st.resident)
+                pages.push_back(page);
         return pages;
     }
 
@@ -92,21 +119,57 @@ class LfuPolicy : public EvictionPolicy
         bool resident = false;
     };
 
-    using Key = std::pair<std::uint64_t, std::uint64_t>;
+    struct Entry
+    {
+        std::uint64_t frequency;
+        std::uint64_t sequence;
+        PageId page;
+    };
+
+    /** Min-heap order on (frequency, sequence); sequences are unique. */
+    struct Greater
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.frequency != b.frequency)
+                return a.frequency > b.frequency;
+            return a.sequence > b.sequence;
+        }
+    };
 
     void
     bump(State &st, PageId page)
     {
-        if (st.resident)
-            index_.erase(Key{st.frequency, st.sequence});
         ++st.frequency;
         st.sequence = ++clock_;
         if (st.resident)
-            index_.emplace(Key{st.frequency, st.sequence}, page);
+            push(st, page);
+    }
+
+    void
+    push(const State &st, PageId page)
+    {
+        if (heap_.size() >= 2 * resident_ + 64)
+            rebuild();
+        heap_.push_back(Entry{st.frequency, st.sequence, page});
+        std::push_heap(heap_.begin(), heap_.end(), Greater{});
+    }
+
+    /** Drop every stale entry and re-heapify the live ones. */
+    void
+    rebuild()
+    {
+        heap_.clear();
+        for (const auto &[page, st] : pages_)
+            if (st.resident)
+                heap_.push_back(Entry{st.frequency, st.sequence, page});
+        std::make_heap(heap_.begin(), heap_.end(), Greater{});
     }
 
     std::unordered_map<PageId, State> pages_;
-    std::map<Key, PageId> index_;
+    std::vector<Entry> heap_;
+    std::size_t resident_ = 0;
     std::uint64_t clock_ = 0;
 };
 

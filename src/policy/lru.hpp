@@ -58,6 +58,8 @@ class LruPolicy : public EvictionPolicy
 
     std::string name() const override { return "LRU"; }
 
+    void reserveCapacity(std::size_t frames) override { nodes_.reserve(frames); }
+
     std::optional<std::vector<PageId>>
     trackedResidentPages() const override
     {

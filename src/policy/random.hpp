@@ -56,6 +56,13 @@ class RandomPolicy : public EvictionPolicy
 
     std::string name() const override { return "Random"; }
 
+    void
+    reserveCapacity(std::size_t frames) override
+    {
+        pages_.reserve(frames);
+        index_.reserve(frames);
+    }
+
     std::optional<std::vector<PageId>>
     trackedResidentPages() const override
     {

@@ -60,6 +60,8 @@ class RripPolicy : public EvictionPolicy
     void onMigrateIn(PageId page) override;
     std::string name() const override { return "RRIP"; }
 
+    void reserveCapacity(std::size_t frames) override { nodes_.reserve(frames); }
+
     std::optional<std::vector<PageId>>
     trackedResidentPages() const override
     {

@@ -4,6 +4,7 @@
 #include "driver/uvm_manager.hpp"
 #include "sim/paging_simulator.hpp"
 #include "sim/policy_factory.hpp"
+#include "sim/sweep.hpp"
 
 namespace hpe {
 
@@ -59,7 +60,7 @@ mergeTraces(const std::vector<Trace> &traces)
 
 MultiAppResult
 runShared(const std::vector<Trace> &traces, PolicyKind kind,
-          std::size_t frames, const HpeConfig &hpeCfg)
+          std::size_t frames, const HpeConfig &hpeCfg, unsigned jobs)
 {
     HPE_ASSERT(!traces.empty(), "runShared needs at least one trace");
     HPE_ASSERT(traces.size() < (std::size_t{1} << 8), "too many apps");
@@ -89,13 +90,17 @@ runShared(const std::vector<Trace> &traces, PolicyKind kind,
         result.totalFaults = uvm.faults();
     }
 
-    // Solo baselines: each app alone in the same total memory.
-    for (std::size_t a = 0; a < traces.size(); ++a) {
+    // Solo baselines: each app alone in the same total memory.  These are
+    // independent simulations, so they fan out; collection by app index
+    // keeps the result identical for every jobs value.
+    SweepRunner runner(jobs);
+    const auto solo = runner.map(traces.size(), [&](std::size_t a) {
         StatRegistry stats;
         auto policy = makePolicy(kind, traces[a], stats, hpeCfg);
-        result.apps[a].soloFaults =
-            runPaging(traces[a], *policy, frames, stats).faults;
-    }
+        return runPaging(traces[a], *policy, frames, stats).faults;
+    });
+    for (std::size_t a = 0; a < traces.size(); ++a)
+        result.apps[a].soloFaults = solo[a];
     return result;
 }
 

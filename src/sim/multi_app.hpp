@@ -75,8 +75,12 @@ struct MultiAppResult
  * @param kind    eviction policy for the shared memory.
  * @param frames  shared GPU memory capacity in pages.
  * @param hpeCfg  configuration when kind == Hpe.
+ * @param jobs    parallelism for the per-app solo baselines (the shared
+ *                run itself is inherently serial); results are identical
+ *                for every value.  Default 1 = fully serial.
  */
 MultiAppResult runShared(const std::vector<Trace> &traces, PolicyKind kind,
-                         std::size_t frames, const HpeConfig &hpeCfg = {});
+                         std::size_t frames, const HpeConfig &hpeCfg = {},
+                         unsigned jobs = 1);
 
 } // namespace hpe

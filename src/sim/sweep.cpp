@@ -1,0 +1,41 @@
+#include "sim/sweep.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("HPE_JOBS"); env != nullptr && *env != '\0') {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end == env || *end != '\0')
+            fatal("HPE_JOBS must be a non-negative integer, got '{}'", env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+        // HPE_JOBS=0 means "auto", same as unset.
+    }
+    return ThreadPool::hardwareThreads();
+}
+
+std::vector<SweepOutcome>
+SweepRunner::run(const std::vector<SweepJob> &jobs)
+{
+    return map(jobs.size(), [&](std::size_t i) {
+        const SweepJob &job = jobs[i];
+        HPE_ASSERT(job.trace != nullptr, "sweep job {} has no trace", i);
+        SweepOutcome out;
+        if (job.functional)
+            out.paging = runFunctional(*job.trace, job.kind, job.cfg);
+        else
+            out.timing = runTiming(*job.trace, job.kind, job.cfg);
+        return out;
+    });
+}
+
+} // namespace hpe

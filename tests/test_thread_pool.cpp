@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the ThreadPool parallel-for primitive: coverage of every
+ * index, edge sizes, nesting, and the exception contract (all indices
+ * run; the lowest failing index's exception is rethrown) — the
+ * guarantees the deterministic sweep engine is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace hpe {
+namespace {
+
+TEST(ThreadPool, ReportsRequestedParallelism)
+{
+    EXPECT_EQ(ThreadPool(1).threads(), 1u);
+    EXPECT_EQ(ThreadPool(3).threads(), 3u);
+    EXPECT_EQ(ThreadPool(0).threads(), ThreadPool::hardwareThreads());
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, ZeroIndicesRunsNothing)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    constexpr std::size_t kN = 10'000;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        std::vector<std::atomic<int>> hits(kN);
+        pool.parallelFor(kN, [&](std::size_t i) { ++hits[i]; });
+        for (std::size_t i = 0; i < kN; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i << " with "
+                                         << threads << " threads";
+    }
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossBatches)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallelFor(100, [&](std::size_t i) { sum += i; });
+        ASSERT_EQ(sum.load(), 100u * 99u / 2);
+    }
+}
+
+TEST(ThreadPool, LowestFailingIndexWins)
+{
+    // All indices run even when some throw, and the caller sees the
+    // exception of the LOWEST failing index — on 1 thread and many, so
+    // behaviour cannot depend on the parallelism degree.
+    for (unsigned threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        std::vector<std::atomic<int>> hits(100);
+        try {
+            pool.parallelFor(100, [&](std::size_t i) {
+                ++hits[i];
+                if (i == 7 || i == 42)
+                    throw std::runtime_error("fail at "
+                                             + std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "fail at 7");
+        }
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int> inner_calls{0};
+    pool.parallelFor(8, [&](std::size_t) {
+        // A nested call must complete (inline) rather than deadlock on
+        // the busy pool.
+        pool.parallelFor(10, [&](std::size_t) { ++inner_calls; });
+    });
+    EXPECT_EQ(inner_calls.load(), 8 * 10);
+}
+
+TEST(ThreadPool, NestedExceptionPropagates)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(4,
+                                  [&](std::size_t) {
+                                      pool.parallelFor(4, [](std::size_t j) {
+                                          if (j == 2)
+                                              throw std::logic_error("inner");
+                                      });
+                                  }),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace hpe
