@@ -35,7 +35,10 @@ class Args
             const auto eq = tok.find('=');
             if (eq != std::string::npos) {
                 args.options_[tok.substr(0, eq)] = tok.substr(eq + 1);
-            } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+            } else if (i + 1 < argc &&
+                       (argv[i + 1][0] != '-' || argv[i + 1][1] == '\0')) {
+                // A lone "-" is a valid value: it names stdout for
+                // output-file options.
                 args.options_[tok] = argv[++i];
             } else {
                 args.options_[tok] = ""; // bare flag

@@ -1,5 +1,8 @@
 #include "cli/commands.hpp"
 
+#include <fstream>
+#include <functional>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -7,6 +10,7 @@
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sweep.hpp"
+#include "trace/exporters.hpp"
 #include "workload/apps.hpp"
 #include "workload/trace_io.hpp"
 
@@ -87,22 +91,110 @@ withChaosOptions(std::vector<std::string> base)
     return base;
 }
 
+/**
+ * Write through @p emit to @p path, where "-" means @p os (the command's
+ * stdout stream).  fatal() when the file cannot be created.
+ */
+void
+writeOutput(const std::string &path, std::ostream &os,
+            const std::function<void(std::ostream &)> &emit)
+{
+    if (path == "-") {
+        emit(os);
+        return;
+    }
+    std::ofstream file(path);
+    if (!file)
+        fatal("cannot write '{}'", path);
+    emit(file);
+}
+
+/** Observability attachments requested on the command line. */
+struct CliTrace
+{
+    std::unique_ptr<trace::TraceSink> sink;
+    std::unique_ptr<trace::IntervalRecorder> intervals;
+    TraceAttachments attach;
+};
+
+/**
+ * Build the sink/recorder a command's trace options ask for.  The sink is
+ * constructed when any consumer of events is requested (--trace,
+ * --trace-chrome, --trace-digest); the recorder when --interval-stats is.
+ */
+CliTrace
+cliTraceOptions(const Args &args)
+{
+    CliTrace t;
+    if (args.has("trace") || args.has("trace-chrome")
+        || args.has("trace-digest")) {
+        trace::TraceSink::Config cfg;
+        cfg.mask = trace::parseEventMask(args.get("trace-events", "all"));
+        cfg.ringCapacity =
+            static_cast<std::size_t>(args.getUint("trace-ring", 1u << 16));
+        if (cfg.ringCapacity == 0)
+            fatal("--trace-ring must be positive");
+        t.sink = std::make_unique<trace::TraceSink>(cfg);
+        t.attach.sink = t.sink.get();
+    } else if (args.has("trace-events") || args.has("trace-ring")) {
+        fatal("--trace-events/--trace-ring need --trace, --trace-chrome, "
+              "or --trace-digest");
+    }
+    if (args.has("interval-stats")) {
+        t.intervals = std::make_unique<trace::IntervalRecorder>(
+            args.getUint("interval", 1000));
+        t.attach.intervals = t.intervals.get();
+    } else if (args.has("interval")) {
+        fatal("--interval needs --interval-stats (or use the report command)");
+    }
+    return t;
+}
+
+/** The trace/interval options shared by run and report. */
+const std::vector<std::string> kTraceOptions = {
+    "trace", "trace-chrome", "trace-events", "trace-ring", "trace-digest",
+    "interval-stats", "interval",
+};
+
+std::vector<std::string>
+withTraceOptions(std::vector<std::string> base)
+{
+    base.insert(base.end(), kTraceOptions.begin(), kTraceOptions.end());
+    return base;
+}
+
 } // namespace
 
 int
 runCommand(const Args &args, std::ostream &os)
 {
-    args.allowOnly(withChaosOptions({"app", "policy", "oversub", "scale",
-                                     "seed", "functional", "csv", "stats",
-                                     "walk-latency", "prefetch",
-                                     "multi-level-walker"}));
+    args.allowOnly(withTraceOptions(withChaosOptions(
+        {"app", "policy", "oversub", "scale", "seed", "functional", "csv",
+         "stats", "walk-latency", "prefetch", "multi-level-walker"})));
     const auto opt = commonOptions(args);
     const PolicyKind kind = policyByName(args.get("policy", "HPE"));
     const bool functional = args.has("functional");
 
+    CliTrace tracing = cliTraceOptions(args);
     InspectableRun run = functional
-        ? runFunctionalInspect(opt.trace, kind, opt.cfg)
-        : runTimingInspect(opt.trace, kind, opt.cfg);
+        ? runFunctionalInspect(opt.trace, kind, opt.cfg, tracing.attach)
+        : runTimingInspect(opt.trace, kind, opt.cfg, tracing.attach);
+
+    if (args.has("trace"))
+        writeOutput(args.get("trace"), os, [&](std::ostream &o) {
+            trace::writeJsonl(*tracing.sink, o);
+        });
+    if (args.has("trace-chrome"))
+        writeOutput(args.get("trace-chrome"), os, [&](std::ostream &o) {
+            trace::writeChromeTrace(*tracing.sink, o);
+        });
+    if (args.has("trace-digest"))
+        os << "trace digest " << tracing.sink->digestHexString() << " ("
+           << tracing.sink->emitted() << " events)\n";
+    if (tracing.intervals != nullptr)
+        writeOutput(args.get("interval-stats"), os, [&](std::ostream &o) {
+            tracing.intervals->writeCsv(o);
+        });
 
     if (args.has("csv")) {
         os << "app,policy,mode,oversub,faults,evictions,ipc\n"
@@ -176,10 +268,53 @@ compareCommand(const Args &args, std::ostream &os)
 }
 
 int
+reportCommand(const Args &args, std::ostream &os)
+{
+    args.allowOnly(withChaosOptions(
+        {"app", "policy", "oversub", "scale", "seed", "functional",
+         "interval", "csv", "walk-latency", "prefetch",
+         "multi-level-walker"}));
+    const auto opt = commonOptions(args);
+    const PolicyKind kind = policyByName(args.get("policy", "HPE"));
+    const bool functional = args.has("functional");
+
+    trace::IntervalRecorder rec(args.getUint("interval", 1000));
+    TraceAttachments attach;
+    attach.intervals = &rec;
+    if (functional)
+        runFunctionalInspect(opt.trace, kind, opt.cfg, attach);
+    else
+        runTimingInspect(opt.trace, kind, opt.cfg, attach);
+
+    if (args.has("csv")) {
+        rec.writeCsv(os);
+        return 0;
+    }
+    os << opt.trace.abbr() << " under " << policyKindName(kind) << " ("
+       << (functional ? "functional" : "timing") << ", "
+       << opt.cfg.oversub * 100 << "% oversubscription, interval "
+       << rec.intervalLength() << " refs)\n";
+    std::vector<std::string> header = {"interval", "refs"};
+    for (const std::string &col : rec.columns())
+        header.push_back(col);
+    TextTable t(header);
+    for (const trace::IntervalRecorder::Sample &s : rec.samples()) {
+        std::vector<std::string> row = {
+            std::to_string(s.index),
+            std::to_string(s.startRef) + ".." + std::to_string(s.endRef)};
+        for (std::uint64_t v : s.values)
+            row.push_back(std::to_string(v));
+        t.addRow(row);
+    }
+    t.print(os);
+    return 0;
+}
+
+int
 sweepCommand(const Args &args, std::ostream &os)
 {
     args.allowOnly({"oversub", "scale", "seed", "extended", "csv",
-                    "functional", "jobs"});
+                    "functional", "jobs", "trace-digests"});
     const double scale = args.getDouble("scale", 1.0);
     const std::uint64_t seed = args.getUint("seed", 1);
     const bool functional = args.has("functional");
@@ -199,17 +334,30 @@ sweepCommand(const Args &args, std::ostream &os)
     const auto traces = runner.mapItems(
         apps, [&](const std::string &abbr) { return buildApp(abbr, scale, seed); });
 
+    const bool digests = args.has("trace-digests");
+    SweepTraceConfig trace_cfg;
+    trace_cfg.enabled = digests;
+
     std::vector<SweepJob> jobs;
     jobs.reserve(apps.size() * kinds.size());
     for (const Trace &trace : traces)
         for (PolicyKind kind : kinds)
-            jobs.push_back(SweepJob{&trace, kind, cfg, functional});
+            jobs.push_back(SweepJob{&trace, kind, cfg, functional, trace_cfg});
     const auto outcomes = runner.run(jobs);
 
     // Serial reduction in job order: output is independent of --jobs.
-    if (args.has("csv"))
-        os << "app,policy,oversub,faults,evictions,ipc\n";
-    TextTable t({"app", "policy", "faults", "evictions", "IPC"});
+    if (args.has("csv")) {
+        os << "app,policy,oversub,faults,evictions,ipc";
+        if (digests)
+            os << ",trace_digest";
+        os << "\n";
+    }
+    std::vector<std::string> header = {"app", "policy", "faults", "evictions",
+                                       "IPC"};
+    if (digests)
+        header.push_back("trace digest");
+    TextTable t(header);
+    std::vector<std::uint64_t> jobDigests;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const std::string &app = apps[i / kinds.size()];
         const PolicyKind kind = kinds[i % kinds.size()];
@@ -219,17 +367,30 @@ sweepCommand(const Args &args, std::ostream &os)
             ? outcomes[i].paging.evictions
             : outcomes[i].timing.evictions;
         const double ipc = functional ? 0.0 : outcomes[i].timing.ipc;
+        if (digests)
+            jobDigests.push_back(outcomes[i].traceDigest);
         if (args.has("csv")) {
             os << app << "," << policyKindName(kind) << "," << cfg.oversub
-               << "," << faults << "," << evictions << "," << ipc << "\n";
+               << "," << faults << "," << evictions << "," << ipc;
+            if (digests)
+                os << "," << trace::digestHex(outcomes[i].traceDigest);
+            os << "\n";
         } else {
-            t.addRow({app, policyKindName(kind), std::to_string(faults),
-                      std::to_string(evictions),
-                      functional ? "-" : TextTable::num(ipc, 4)});
+            std::vector<std::string> row = {
+                app, policyKindName(kind), std::to_string(faults),
+                std::to_string(evictions),
+                functional ? "-" : TextTable::num(ipc, 4)};
+            if (digests)
+                row.push_back(trace::digestHex(outcomes[i].traceDigest));
+            t.addRow(row);
         }
     }
     if (!args.has("csv"))
         t.print(os);
+    if (digests)
+        // Goes to stderr (inform), keeping --csv stdout machine-readable.
+        inform("combined trace digest {}",
+               trace::digestHex(trace::combineDigests(jobDigests)));
     return 0;
 }
 
@@ -281,15 +442,26 @@ printUsage(std::ostream &os)
           "           [--chaos-pcie-fail P] [--chaos-pcie-stall P]\n"
           "           [--chaos-service-timeout P] [--chaos-shootdown-drop P]\n"
           "           [--chaos-walk-error P]\n"
+          "           [--trace FILE|-] [--trace-chrome FILE|-]\n"
+          "           [--trace-events far_fault,eviction,...] [--trace-ring N]\n"
+          "           [--trace-digest] [--interval-stats FILE|-] [--interval N]\n"
           "  compare  every policy on one app\n"
           "           --app HSD [--oversub 0.75] [--extended] [--csv]\n"
           "           [--jobs N] [chaos options as for run]\n"
           "  sweep    every policy on every Table II app, in parallel\n"
           "           [--oversub 0.75] [--functional] [--extended] [--csv]\n"
-          "           [--scale 1.0] [--seed 1] [--jobs N]\n"
+          "           [--scale 1.0] [--seed 1] [--jobs N] [--trace-digests]\n"
+          "  report   per-interval metrics timeline of one (app, policy) run\n"
+          "           --app HSD --policy HPE [--interval 1000] [--functional]\n"
+          "           [--csv] [chaos options as for run]\n"
           "  trace    write an application's page-visit trace to a file\n"
           "           --app HSD --out hsd.trace\n"
           "  list     available applications and policies\n"
+          "\n"
+          "--trace writes JSONL events (one per line + digest summary);\n"
+          "--trace-chrome writes the Chrome about://tracing format; a FILE\n"
+          "of '-' writes to stdout.  --trace-digests (sweep) appends a\n"
+          "per-job digest column that is byte-identical for every --jobs.\n"
           "\n"
           "--jobs N fans independent simulations across N threads (default:\n"
           "HPE_JOBS env, else all hardware threads); results are collected\n"
@@ -305,6 +477,8 @@ dispatch(const Args &args, std::ostream &os)
         return compareCommand(args, os);
     if (args.command() == "sweep")
         return sweepCommand(args, os);
+    if (args.command() == "report")
+        return reportCommand(args, os);
     if (args.command() == "trace")
         return traceCommand(args, os);
     if (args.command() == "list")

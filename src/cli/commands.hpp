@@ -21,6 +21,9 @@ int compareCommand(const Args &args, std::ostream &os);
 /** `hpe_sim sweep`: all policies on all apps, fanned across --jobs. */
 int sweepCommand(const Args &args, std::ostream &os);
 
+/** `hpe_sim report`: per-interval metrics timeline of one run. */
+int reportCommand(const Args &args, std::ostream &os);
+
 /** `hpe_sim trace`: write an application's trace to a file. */
 int traceCommand(const Args &args, std::ostream &os);
 

@@ -22,6 +22,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "trace/trace_sink.hpp"
 
 namespace hpe {
 
@@ -97,18 +98,24 @@ class FaultInjector
 
     const ChaosConfig &config() const { return cfg_; }
 
+    /** Attach a structured-event sink (nullable); each injected fault then
+     *  emits a ChaosInjection event tagged with its stream. */
+    void setTraceSink(trace::TraceSink *sink) { sink_ = sink; }
+
     /** Does this page-migration transfer fail? */
     bool
     pcieTransferFails()
     {
-        return draw(pcieFailRng_, cfg_.pcieFailProb, pcieFailures_);
+        return draw(pcieFailRng_, cfg_.pcieFailProb, pcieFailures_,
+                    trace::ChaosKind::PcieFail);
     }
 
     /** Extra link-occupancy cycles of this transfer (0 = no stall). */
     Cycle
     pcieStallCycles()
     {
-        return draw(pcieStallRng_, cfg_.pcieStallProb, pcieStalls_)
+        return draw(pcieStallRng_, cfg_.pcieStallProb, pcieStalls_,
+                    trace::ChaosKind::PcieStall)
                    ? cfg_.pcieStallCycles
                    : 0;
     }
@@ -117,36 +124,43 @@ class FaultInjector
     bool
     serviceTimesOut()
     {
-        return draw(timeoutRng_, cfg_.serviceTimeoutProb, serviceTimeouts_);
+        return draw(timeoutRng_, cfg_.serviceTimeoutProb, serviceTimeouts_,
+                    trace::ChaosKind::ServiceTimeout);
     }
 
     /** Is this TLB-shootdown ack dropped? */
     bool
     shootdownDropped()
     {
-        return draw(shootdownRng_, cfg_.shootdownDropProb, shootdownDrops_);
+        return draw(shootdownRng_, cfg_.shootdownDropProb, shootdownDrops_,
+                    trace::ChaosKind::ShootdownDrop);
     }
 
     /** Does this page walk suffer a transient error? */
     bool
     walkErrors()
     {
-        return draw(walkRng_, cfg_.walkErrorProb, walkErrors_);
+        return draw(walkRng_, cfg_.walkErrorProb, walkErrors_,
+                    trace::ChaosKind::WalkError);
     }
 
   private:
-    static bool
-    draw(Rng &rng, double p, Counter &counter)
+    bool
+    draw(Rng &rng, double p, Counter &counter, trace::ChaosKind kind)
     {
         if (p <= 0.0)
             return false;
         if (!rng.chance(p))
             return false;
         ++counter;
+        if (sink_ != nullptr)
+            sink_->emit(trace::EventKind::ChaosInjection,
+                        static_cast<std::uint8_t>(kind), 0, 0);
         return true;
     }
 
     ChaosConfig cfg_;
+    trace::TraceSink *sink_ = nullptr;
     Rng pcieFailRng_;
     Rng pcieStallRng_;
     Rng timeoutRng_;

@@ -58,13 +58,18 @@ warn(std::string_view fmt, Args &&...args)
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
-/** Print an informational status message. */
+/**
+ * Print an informational status message.  Goes to stderr, like every
+ * other log channel: stdout belongs to machine-readable command output
+ * (CSV, JSONL), which must stay byte-pure even when a status line fires
+ * mid-run from a worker thread.
+ */
 template <typename... Args>
 void
 inform(std::string_view fmt, Args &&...args)
 {
     auto msg = strformat(fmt, std::forward<Args>(args)...);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 /** panic() unless @p cond holds; used for internal invariants. */

@@ -71,18 +71,39 @@ class Distribution
 };
 
 /**
- * Owner of named statistics.  Components call counter()/distribution() once
- * at construction and keep the returned references; lookups by name are for
- * reporting and tests.
+ * Owner of named statistics.  Components call counter()/distribution()
+ * exactly once at construction and keep the returned references; a second
+ * registration under the same name is a component wiring bug (two owners
+ * silently aliasing one counter) and is rejected with a clear error.
+ * Lookups by name — for reporting, tests, and interval probes — go through
+ * findCounter()/findDistribution().
  */
 class StatRegistry
 {
   public:
-    /** Get or create the counter registered under @p name. */
-    Counter &counter(const std::string &name) { return counters_[name]; }
+    /** Register the counter @p name; fatal() if it already exists. */
+    Counter &
+    counter(const std::string &name)
+    {
+        const auto [it, inserted] = counters_.try_emplace(name);
+        if (!inserted)
+            fatal("stat counter '{}' already registered (two components "
+                  "sharing one name would silently alias their counts)",
+                  name);
+        return it->second;
+    }
 
-    /** Get or create the distribution registered under @p name. */
-    Distribution &distribution(const std::string &name) { return dists_[name]; }
+    /** Register the distribution @p name; fatal() if it already exists. */
+    Distribution &
+    distribution(const std::string &name)
+    {
+        const auto [it, inserted] = dists_.try_emplace(name);
+        if (!inserted)
+            fatal("stat distribution '{}' already registered (two components "
+                  "sharing one name would silently alias their samples)",
+                  name);
+        return it->second;
+    }
 
     /** Counter lookup for tests; the stat must exist. */
     const Counter &

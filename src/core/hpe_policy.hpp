@@ -56,6 +56,13 @@ class HpePolicy : public EvictionPolicy
 
     void reserveCapacity(std::size_t frames) override { resident_.reserve(frames); }
 
+    // HPE's observable transitions live on the page-set chain (insertions,
+    // divisions, rotations, new-partition promotions); forward the sink.
+    void setTraceSink(trace::TraceSink *sink) override
+    {
+        chain_.setTraceSink(sink);
+    }
+
     std::optional<std::vector<PageId>>
     trackedResidentPages() const override
     {

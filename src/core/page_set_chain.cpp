@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/log.hpp"
+#include "trace/trace_sink.hpp"
 
 namespace hpe {
 
@@ -25,6 +26,13 @@ PageSetChain::~PageSetChain()
     for (auto *list : {&old_, &middle_, &new_})
         while (!list->empty())
             list->remove(list->front());
+}
+
+void
+PageSetChain::emitChainOp(std::uint8_t op, PageSetId set, std::uint64_t value)
+{
+    if (sink_ != nullptr)
+        sink_->emit(trace::EventKind::ChainOp, op, set, value);
 }
 
 ChainEntry *
@@ -70,6 +78,8 @@ PageSetChain::create(PageSetId set, bool secondary)
     new_.pushBack(ref);
     entries_.emplace(ChainEntry::keyOf(set, secondary), std::move(entry));
     ++insertions_;
+    emitChainOp(static_cast<std::uint8_t>(trace::ChainOpKind::Insert), set,
+                secondary ? 1 : 0);
     return ref;
 }
 
@@ -80,6 +90,10 @@ PageSetChain::promoteToNew(ChainEntry &entry)
     entry.part = Partition::New;
     new_.pushBack(entry);
     ++movements_;
+    if (sink_ != nullptr)
+        sink_->emit(trace::EventKind::Promotion,
+                    static_cast<std::uint8_t>(trace::PromotionScope::HpePageSet),
+                    entry.set, entry.secondary ? 1 : 0);
 }
 
 TouchResult
@@ -116,6 +130,8 @@ PageSetChain::touch(PageId page, std::uint32_t count, bool is_fault)
         e.primaryMask = e.bitVec;
         result.dividedNow = true;
         ++divisions_;
+        emitChainOp(static_cast<std::uint8_t>(trace::ChainOpKind::Divide), set,
+                    e.primaryMask);
     }
 
     // Movement (§IV-C note 2): once in the new partition, further touches
@@ -137,6 +153,8 @@ PageSetChain::endInterval()
         e.part = Partition::Middle;
     old_.spliceBack(middle_);
     middle_.spliceBack(new_);
+    emitChainOp(static_cast<std::uint8_t>(trace::ChainOpKind::Rotate), 0,
+                entries_.size());
 }
 
 void
@@ -146,6 +164,8 @@ PageSetChain::remove(ChainEntry &entry)
         // Record only the first division result (sticky thereafter).
         history_.emplace(entry.set, entry.primaryMask);
     }
+    emitChainOp(static_cast<std::uint8_t>(trace::ChainOpKind::Remove), entry.set,
+                entry.secondary ? 1 : 0);
     partition(entry.part).remove(entry);
     const auto erased = entries_.erase(ChainEntry::keyOf(entry.set, entry.secondary));
     HPE_ASSERT(erased == 1, "chain entry {:#x} missing from index", entry.set);

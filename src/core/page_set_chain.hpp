@@ -33,6 +33,10 @@
 
 namespace hpe {
 
+namespace trace {
+class TraceSink;
+} // namespace trace
+
 /** Which third of the chain an entry currently occupies. */
 enum class Partition : std::uint8_t { Old, Middle, New };
 
@@ -141,6 +145,10 @@ class PageSetChain
     /** Number of recorded first divisions (for tests/stats). */
     std::size_t historySize() const { return history_.size(); }
 
+    /** Attach a structured-event sink (nullable); chain mutations then emit
+     *  ChainOp events and new-partition moves emit HpePageSet promotions. */
+    void setTraceSink(trace::TraceSink *sink) { sink_ = sink; }
+
   private:
     /** Insert a fresh entry at the MRU position of the new partition. */
     ChainEntry &create(PageSetId set, bool secondary);
@@ -148,9 +156,13 @@ class PageSetChain
     /** Move a non-new entry to the MRU position of the new partition. */
     void promoteToNew(ChainEntry &entry);
 
+    /** Emit a ChainOp event for @p set if a sink is attached. */
+    void emitChainOp(std::uint8_t op, PageSetId set, std::uint64_t value);
+
     const HpeConfig cfg_;
     std::uint32_t setShift_;
     std::uint64_t fullMask_;
+    trace::TraceSink *sink_ = nullptr;
 
     IntrusiveList<ChainEntry> old_;
     IntrusiveList<ChainEntry> middle_;

@@ -129,6 +129,14 @@ class GpuDriver
     }
 
     /**
+     * Attach a structured-event sink (nullable).  The driver owns the
+     * timing run's clock hand-off: it advances the sink to the event
+     * queue's current cycle before every fault service, so the clock-less
+     * emitters underneath (UvmMemoryManager, the policy) stamp correctly.
+     */
+    void setTraceSink(trace::TraceSink *sink) { sink_ = sink; }
+
+    /**
      * A translation for @p page faulted; @p wakeup fires once the page is
      * resident.  Faults on a page already being serviced merge.
      *
@@ -231,6 +239,8 @@ class GpuDriver
                 return;
             attempts_.erase(page);
         }
+        if (sink_ != nullptr)
+            sink_->advanceTo(eq_.now());
         const FaultOutcome outcome = uvm_.handleFault(page);
         ++serviced_;
 
@@ -286,6 +296,8 @@ class GpuDriver
     Cycle nextStart_ = 0;
     Cycle busyCycles_ = 0;
     bool flushTimerArmed_ = false;
+
+    trace::TraceSink *sink_ = nullptr;
 
     /** @{ chaos retry path (active only when an injector attaches) */
     FaultInjector *injector_ = nullptr;

@@ -21,6 +21,7 @@
 #include "common/fault_injector.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "trace/trace_sink.hpp"
 
 namespace hpe {
 
@@ -63,6 +64,10 @@ class PcieLink
             stallCycles_ = &stats_.counter(name_ + ".stallCycles");
     }
 
+    /** Attach a structured-event sink (nullable); transfers then emit
+     *  PcieTransfer events stamped with their start cycle. */
+    void setTraceSink(trace::TraceSink *sink) { sink_ = sink; }
+
     /**
      * Reserve the link for @p bytes starting no earlier than @p now.
      * A zero-byte request is a caller bug (nothing moves); it is asserted
@@ -78,6 +83,8 @@ class PcieLink
             return now > horizon_ ? now : horizon_;
         const Cycle start = now > horizon_ ? now : horizon_;
         horizon_ = start + cfg_.cyclesForBytes(bytes);
+        if (sink_ != nullptr)
+            sink_->emitAt(start, trace::EventKind::PcieTransfer, 0, 0, bytes);
         if (injector_ != nullptr) {
             const Cycle stall = injector_->pcieStallCycles();
             horizon_ += stall;
@@ -99,6 +106,7 @@ class PcieLink
     std::string name_;
     Cycle horizon_ = 0;
     FaultInjector *injector_ = nullptr;
+    trace::TraceSink *sink_ = nullptr;
     Counter &bytesMoved_;
     Counter &transfers_;
     Counter *stallCycles_ = nullptr; ///< registered when an injector attaches

@@ -40,6 +40,7 @@
 #include "mem/page_table.hpp"
 #include "mem/radix_page_table.hpp"
 #include "policy/eviction_policy.hpp"
+#include "trace/trace_sink.hpp"
 
 namespace hpe {
 
@@ -120,6 +121,8 @@ class UvmMemoryManager
         const bool is_refault = evictedOnce_.contains(page);
         if (is_refault)
             ++refaults_; // a page the policy once evicted came back
+        if (sink_ != nullptr)
+            sink_->emit(trace::EventKind::FarFault, 0, page, is_refault);
         policy_.onFault(page);
 
         FaultOutcome out;
@@ -145,6 +148,9 @@ class UvmMemoryManager
             out.victimDirty = dirty_.erase(victim);
             if (out.victimDirty)
                 ++dirtyEvictions_;
+            if (sink_ != nullptr)
+                sink_->emit(trace::EventKind::Eviction, 0, victim,
+                            out.victimDirty);
             if (evictHook_)
                 evictHook_(victim);
         }
@@ -152,15 +158,21 @@ class UvmMemoryManager
         table_.map(page, out.frame);
         if (radixMirror_ != nullptr)
             radixMirror_->map(page, out.frame);
+        if (sink_ != nullptr)
+            sink_->emit(trace::EventKind::Migration, 0, page, 0);
         policy_.onMigrateIn(page);
 
         if (detector_ != nullptr) {
             lastTouch_[page] = ++touchClock_;
             switch (detector_->onFault(is_refault)) {
               case DegradationEvent::Entered:
+                if (sink_ != nullptr)
+                    sink_->emit(trace::EventKind::Degradation, 0, 0, 0);
                 applyPinning();
                 break;
               case DegradationEvent::Exited:
+                if (sink_ != nullptr)
+                    sink_->emit(trace::EventKind::Degradation, 1, 0, 0);
                 pinned_.clear();
                 break;
               case DegradationEvent::None:
@@ -188,6 +200,8 @@ class UvmMemoryManager
         table_.map(page, frame);
         if (radixMirror_ != nullptr)
             radixMirror_->map(page, frame);
+        if (sink_ != nullptr)
+            sink_->emit(trace::EventKind::Migration, 1, page, 0);
         policy_.onMigrateIn(page);
         if (detector_ != nullptr)
             lastTouch_[page] = ++touchClock_;
@@ -218,6 +232,14 @@ class UvmMemoryManager
 
     /** Run @p hook after every fault service and prefetch. */
     void setValidateHook(ValidateHook hook) { validateHook_ = std::move(hook); }
+
+    /**
+     * Attach a structured-event sink (nullable; null detaches).  Fault,
+     * eviction, migration, and degradation-transition events are emitted
+     * at the sink's current clock; with no sink the fault path costs one
+     * pointer test per site.
+     */
+    void setTraceSink(trace::TraceSink *sink) { sink_ = sink; }
 
     /**
      * Arm graceful degradation: a thrashing detector over the refault
@@ -298,6 +320,7 @@ class UvmMemoryManager
     EvictHook evictHook_;
     ValidateHook validateHook_;
     RadixPageTable *radixMirror_ = nullptr;
+    trace::TraceSink *sink_ = nullptr;
     DensePageSet evictedOnce_;
     DensePageSet dirty_;
 

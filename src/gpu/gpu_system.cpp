@@ -7,7 +7,7 @@ namespace hpe {
 GpuSystem::GpuSystem(const GpuConfig &cfg, const Trace &trace,
                      EvictionPolicy &policy, std::size_t frames,
                      StatRegistry &stats, HpePolicy *hpe)
-    : cfg_(cfg), trace_(trace),
+    : cfg_(cfg), trace_(trace), policy_(policy),
       uvm_(frames, policy, stats, "driver.uvm"),
       pcie_(cfg.pcie, stats, "pcie"),
       driver_(cfg.driver, uvm_, pcie_, eq_, stats, "driver", hpe),
@@ -68,6 +68,18 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const Trace &trace,
 }
 
 void
+GpuSystem::setTraceSink(trace::TraceSink *sink)
+{
+    sink_ = sink;
+    uvm_.setTraceSink(sink);
+    pcie_.setTraceSink(sink);
+    driver_.setTraceSink(sink);
+    policy_.setTraceSink(sink);
+    if (injector_ != nullptr)
+        injector_->setTraceSink(sink);
+}
+
+void
 GpuSystem::onEvictPage(PageId page)
 {
     // Chaos: a dropped shootdown ack is detected by the driver, which
@@ -78,7 +90,12 @@ GpuSystem::onEvictPage(PageId page)
         while (injector_->shootdownDropped())
             ++*shootdownReissues_;
 
-    // TLB shootdown and cache invalidation for the evicted page.
+    // TLB shootdown and cache invalidation for the evicted page.  The
+    // value field carries how many levels were invalidated (L2 TLB + one
+    // L1 TLB per SM) for quick sanity checks in trace consumers.
+    if (sink_ != nullptr)
+        sink_->emit(trace::EventKind::TlbShootdown, 0, page,
+                    1 + static_cast<std::uint64_t>(sms_.size()));
     l2Tlb_->invalidate(page);
     for (Sm &sm : sms_) {
         sm.l1Tlb->invalidate(page);
@@ -130,11 +147,16 @@ GpuSystem::translate(Warp &warp, Addr addr)
             // Chaos: each transient walk error forces a re-walk, costing
             // one more walk latency before the outcome applies.
             Cycle walk_penalty = 0;
-            if (injector_ != nullptr)
+            if (injector_ != nullptr) {
+                // The injector stamps events with the sink's clock, which
+                // only the driver advances otherwise.
+                if (sink_ != nullptr)
+                    sink_->advanceTo(eq_.now());
                 while (injector_->walkErrors()) {
                     walk_penalty += walk.latency;
                     ++*walkRetries_;
                 }
+            }
             eq_.scheduleIn(walk_penalty + walk.latency,
                            [this, &warp, &sm, addr, page,
                                           hit = walk.hit] {
@@ -210,6 +232,8 @@ GpuSystem::finishAccess(Warp &warp)
         ++warp.refIdx;
         warp.visitFaulted = false;
         gap = cfg_.computeGap;
+        if (intervals_ != nullptr)
+            intervals_->onReference();
     }
     eq_.scheduleIn(gap, [this, &warp] { issueNext(warp); });
 }
@@ -262,6 +286,8 @@ GpuSystem::run()
         }
         HPE_ASSERT(liveWarps_ == 0, "deadlock: {} warps never retired", liveWarps_);
     }
+    if (intervals_ != nullptr)
+        intervals_->finish();
 
     TimingResult r;
     r.cycles = eq_.now();

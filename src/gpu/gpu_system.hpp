@@ -37,6 +37,8 @@
 #include "tlb/multi_level_walker.hpp"
 #include "tlb/tlb.hpp"
 #include "tlb/walker.hpp"
+#include "trace/interval_recorder.hpp"
+#include "trace/trace_sink.hpp"
 #include "workload/trace.hpp"
 
 namespace hpe {
@@ -124,6 +126,16 @@ class GpuSystem
     /** Run to completion (all warps retired). */
     TimingResult run();
 
+    /**
+     * Attach a structured-event sink (nullable), fanned out to every
+     * emitting component: driver, UVM manager, PCIe link, TLB-shootdown
+     * path, the policy, and the chaos injector when one exists.
+     */
+    void setTraceSink(trace::TraceSink *sink);
+
+    /** Attach an interval recorder, ticked once per retired page visit. */
+    void setIntervalRecorder(trace::IntervalRecorder *rec) { intervals_ = rec; }
+
     /** @{ component access for tests */
     UvmMemoryManager &uvm() { return uvm_; }
     EventQueue &eventQueue() { return eq_; }
@@ -166,7 +178,11 @@ class GpuSystem
 
     const GpuConfig cfg_;
     const Trace &trace_;
+    EvictionPolicy &policy_;
     EventQueue eq_;
+
+    trace::TraceSink *sink_ = nullptr;
+    trace::IntervalRecorder *intervals_ = nullptr;
 
     UvmMemoryManager uvm_;
     PcieLink pcie_;

@@ -1,6 +1,7 @@
 #include "policy/clock_pro.hpp"
 
 #include "common/log.hpp"
+#include "trace/trace_sink.hpp"
 
 namespace hpe {
 
@@ -11,6 +12,17 @@ ClockProPolicy::ClockProPolicy(const ClockProConfig &cfg)
 }
 
 ClockProPolicy::~ClockProPolicy() = default;
+
+void
+ClockProPolicy::emitTransition(bool promotion, PageId page)
+{
+    if (sink_ == nullptr)
+        return;
+    sink_->emit(promotion ? trace::EventKind::Promotion
+                          : trace::EventKind::Demotion,
+                static_cast<std::uint8_t>(trace::PromotionScope::ClockProPage),
+                page, 0);
+}
 
 ClockProPolicy::Node *
 ClockProPolicy::clockNext(Node *hand)
@@ -72,6 +84,7 @@ ClockProPolicy::runHandHot()
                 n.test = false;
                 --numHot_;
                 ++numColdRes_;
+                emitTransition(/*promotion=*/false, n.page);
                 return;
             }
         } else if (n.state == State::ColdNonResident) {
@@ -135,6 +148,7 @@ ClockProPolicy::selectVictim()
                 n.state = State::Hot;
                 --numColdRes_;
                 ++numHot_;
+                emitTransition(/*promotion=*/true, n.page);
                 // Keep the resident cold allocation near m_c: a promotion
                 // that drops cold residency below target demotes a hot page
                 // (unless the whole population fits in the allocation).
@@ -203,6 +217,7 @@ ClockProPolicy::onMigrateIn(PageId page)
         n.ref = false;
         n.test = false;
         ++numHot_;
+        emitTransition(/*promotion=*/true, page);
         // Rebalance only when the hot set crowds out the cold allocation
         // (m_h = M - m_c); small populations keep their hot pages.
         if (numColdRes_ < cfg_.coldAllocation

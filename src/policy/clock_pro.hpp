@@ -52,6 +52,10 @@ class ClockProPolicy : public EvictionPolicy
     void onMigrateIn(PageId page) override;
     std::string name() const override { return "CLOCK-Pro"; }
 
+    // Hot/cold transitions are CLOCK-Pro's LIR/HIR analog; they surface as
+    // Promotion/Demotion events with the ClockProPage scope.
+    void setTraceSink(trace::TraceSink *sink) override { sink_ = sink; }
+
     // CLOCK-Pro tracks non-resident (test) pages too, up to ~2x memory.
     void reserveCapacity(std::size_t frames) override { nodes_.reserve(2 * frames); }
 
@@ -89,7 +93,11 @@ class ClockProPolicy : public EvictionPolicy
     /** Insert a brand-new cold page at the clock head (newest position). */
     Node &insertNew(PageId page);
 
+    /** Emit a hot/cold transition event if a sink is attached. */
+    void emitTransition(bool promotion, PageId page);
+
     ClockProConfig cfg_;
+    trace::TraceSink *sink_ = nullptr;
     IntrusiveList<Node> clock_;
     std::unordered_map<PageId, std::unique_ptr<Node>> nodes_;
 

@@ -20,6 +20,10 @@
 
 namespace hpe {
 
+namespace trace {
+class TraceSink;
+} // namespace trace
+
 /**
  * Abstract page eviction policy.
  *
@@ -61,6 +65,15 @@ class EvictionPolicy
      * hint: it must not change any eviction decision.
      */
     virtual void reserveCapacity(std::size_t frames) { (void)frames; }
+
+    /**
+     * Attach a structured-event sink (nullable; null detaches).  Policies
+     * with observable internal transitions — CLOCK-Pro's hot/cold (LIR/HIR)
+     * moves, HPE's page-set chain ops — emit them through the sink; the
+     * default keeps silent policies silent.  Purely observational: it must
+     * not change any eviction decision.
+     */
+    virtual void setTraceSink(trace::TraceSink *sink) { (void)sink; }
 
     /**
      * The pages this policy currently believes are resident, in no

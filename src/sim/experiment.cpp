@@ -16,7 +16,8 @@ framesFor(const Trace &trace, double oversub)
 }
 
 InspectableRun
-runFunctionalInspect(const Trace &trace, PolicyKind kind, const RunConfig &cfg)
+runFunctionalInspect(const Trace &trace, PolicyKind kind, const RunConfig &cfg,
+                     const TraceAttachments &attach)
 {
     InspectableRun run;
     run.stats = std::make_unique<StatRegistry>();
@@ -24,20 +25,30 @@ runFunctionalInspect(const Trace &trace, PolicyKind kind, const RunConfig &cfg)
     // The GpuConfig carries the resilience knobs for both modes; the
     // functional path honours the ones that exist without timing.
     const PagingOptions opts{.degradation = cfg.gpu.degradation,
-                             .validate = cfg.gpu.validate};
+                             .validate = cfg.gpu.validate,
+                             .sink = attach.sink,
+                             .intervals = attach.intervals};
     run.paging = runPaging(trace, *run.policy, framesFor(trace, cfg.oversub),
                            *run.stats, opts);
     return run;
 }
 
 InspectableRun
-runTimingInspect(const Trace &trace, PolicyKind kind, const RunConfig &cfg)
+runTimingInspect(const Trace &trace, PolicyKind kind, const RunConfig &cfg,
+                 const TraceAttachments &attach)
 {
     InspectableRun run;
     run.stats = std::make_unique<StatRegistry>();
     run.policy = makePolicy(kind, trace, *run.stats, cfg.hpe, cfg.seed);
     GpuSystem gpu(cfg.gpu, trace, *run.policy, framesFor(trace, cfg.oversub),
                   *run.stats, run.hpe());
+    if (attach.sink != nullptr)
+        gpu.setTraceSink(attach.sink);
+    if (attach.intervals != nullptr) {
+        attachIntervalProbes(*attach.intervals, *run.stats, gpu.uvm(),
+                             *run.policy, "driver.uvm");
+        gpu.setIntervalRecorder(attach.intervals);
+    }
     run.timing = gpu.run();
     return run;
 }

@@ -32,6 +32,17 @@ struct RunConfig
     std::uint64_t seed = 1;
 };
 
+/**
+ * Observability attachments of one run, all nullable and caller-owned —
+ * they stay out of RunConfig because configs are copied into parallel
+ * sweep jobs, where sharing one sink across jobs would be a race.
+ */
+struct TraceAttachments
+{
+    trace::TraceSink *sink = nullptr;
+    trace::IntervalRecorder *intervals = nullptr;
+};
+
 /** GPU memory capacity in frames for @p trace at @p oversub. */
 std::size_t framesFor(const Trace &trace, double oversub);
 
@@ -60,10 +71,12 @@ struct InspectableRun
 
 /** Functional run retaining policy + stats. */
 InspectableRun runFunctionalInspect(const Trace &trace, PolicyKind kind,
-                                    const RunConfig &cfg);
+                                    const RunConfig &cfg,
+                                    const TraceAttachments &attach = {});
 
 /** Timing run retaining policy + stats. */
 InspectableRun runTimingInspect(const Trace &trace, PolicyKind kind,
-                                const RunConfig &cfg);
+                                const RunConfig &cfg,
+                                const TraceAttachments &attach = {});
 
 } // namespace hpe

@@ -19,6 +19,9 @@
 #include "driver/state_validator.hpp"
 #include "driver/uvm_manager.hpp"
 #include "policy/eviction_policy.hpp"
+#include "sim/probes.hpp"
+#include "trace/interval_recorder.hpp"
+#include "trace/trace_sink.hpp"
 #include "workload/trace.hpp"
 
 namespace hpe {
@@ -48,6 +51,10 @@ struct PagingOptions
     DegradationConfig degradation{};
     /** Cross-check driver state after every fault service. */
     bool validate = false;
+    /** Structured-event sink; timestamps are reference indices. */
+    trace::TraceSink *sink = nullptr;
+    /** Interval metrics timeline, ticked once per reference. */
+    trace::IntervalRecorder *intervals = nullptr;
 };
 
 /**
@@ -71,8 +78,18 @@ runPaging(const Trace &trace, EvictionPolicy &policy, std::size_t frames,
         validator = std::make_unique<StateValidator>(uvm, stats, "validator");
         uvm.setValidateHook([&validator] { validator->check(); });
     }
+    if (opts.sink != nullptr) {
+        uvm.setTraceSink(opts.sink);
+        policy.setTraceSink(opts.sink);
+    }
+    if (opts.intervals != nullptr)
+        attachIntervalProbes(*opts.intervals, stats, uvm, policy, "uvm");
     PagingResult result;
     for (const PageRef &ref : trace.refs()) {
+        // The sink clock is the reference index: every event emitted while
+        // this reference is processed carries it.
+        if (opts.sink != nullptr)
+            opts.sink->advanceTo(result.references);
         ++result.references;
         if (uvm.resident(ref.page))
             uvm.recordHit(ref.page);
@@ -80,7 +97,11 @@ runPaging(const Trace &trace, EvictionPolicy &policy, std::size_t frames,
             uvm.handleFault(ref.page);
         if (ref.write)
             uvm.markDirty(ref.page);
+        if (opts.intervals != nullptr)
+            opts.intervals->onReference();
     }
+    if (opts.intervals != nullptr)
+        opts.intervals->finish();
     result.hits = uvm.hits();
     result.faults = uvm.faults();
     result.evictions = uvm.evictions();

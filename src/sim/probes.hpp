@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Standard interval-probe set shared by the functional and timing runs.
+ *
+ * Both simulators expose the same logical quantities under different stat
+ * prefixes ("uvm" functional, "driver.uvm" timing); this helper attaches
+ * the canonical column set to an IntervalRecorder so `--interval-stats`
+ * output has one schema everywhere:
+ *
+ *   faults, evictions, refaults, hits, dirty_evictions   (deltas)
+ *   occupancy                                            (gauge)
+ *
+ * and, when the policy under study is HPE:
+ *
+ *   strategy_switches, search_jumps                      (deltas)
+ *   chain_length, hir_fill                               (gauges)
+ */
+
+#pragma once
+
+#include <string>
+
+#include "common/stats.hpp"
+#include "core/hpe_policy.hpp"
+#include "driver/uvm_manager.hpp"
+#include "policy/eviction_policy.hpp"
+#include "trace/interval_recorder.hpp"
+
+namespace hpe {
+
+/**
+ * Attach the canonical probe columns.  Must run after the components have
+ * registered their stats and before the first reference is accounted.
+ *
+ * @param rec       the recorder receiving columns.
+ * @param stats     registry the run's components registered into.
+ * @param uvm       the memory manager (occupancy gauge).
+ * @param policy    policy under study; HPE gains its structure columns.
+ * @param uvmPrefix stat prefix of @p uvm ("uvm" or "driver.uvm").
+ */
+inline void
+attachIntervalProbes(trace::IntervalRecorder &rec, const StatRegistry &stats,
+                     const UvmMemoryManager &uvm, EvictionPolicy &policy,
+                     const std::string &uvmPrefix)
+{
+    rec.addCounter("faults", stats.findCounter(uvmPrefix + ".faults"));
+    rec.addCounter("evictions", stats.findCounter(uvmPrefix + ".evictions"));
+    rec.addCounter("refaults", stats.findCounter(uvmPrefix + ".refaults"));
+    rec.addCounter("hits", stats.findCounter(uvmPrefix + ".hits"));
+    rec.addCounter("dirty_evictions",
+                   stats.findCounter(uvmPrefix + ".dirtyEvictions"));
+    rec.addGauge("occupancy", [&uvm] {
+        return static_cast<std::uint64_t>(uvm.residentPages());
+    });
+
+    if (auto *hpe = dynamic_cast<HpePolicy *>(&policy); hpe != nullptr) {
+        // The adjustment controller registers lazily with the first
+        // eviction epoch, but HpePolicy constructs it eagerly, so the
+        // counters exist by the time a run is assembled; guard anyway so
+        // a future lazy registration degrades to missing columns, not a
+        // crash.
+        if (stats.hasCounter("hpe.adjust.strategySwitches"))
+            rec.addCounter("strategy_switches",
+                           stats.findCounter("hpe.adjust.strategySwitches"));
+        if (stats.hasCounter("hpe.adjust.searchJumps"))
+            rec.addCounter("search_jumps",
+                           stats.findCounter("hpe.adjust.searchJumps"));
+        rec.addGauge("chain_length", [hpe] {
+            return static_cast<std::uint64_t>(hpe->chain().size());
+        });
+        rec.addGauge("hir_fill", [hpe] {
+            return static_cast<std::uint64_t>(hpe->hir().occupancy());
+        });
+    }
+}
+
+} // namespace hpe

@@ -40,6 +40,15 @@ namespace hpe {
  */
 unsigned resolveJobs(unsigned requested = 0);
 
+/** Per-job event-tracing request (value type — each job builds its own
+ *  sink from it, so parallel jobs never share trace state). */
+struct SweepTraceConfig
+{
+    bool enabled = false;
+    trace::EventMask mask = trace::kAllEvents;
+    std::size_t ringCapacity = 1u << 16;
+};
+
 /** One (trace, policy, oversubscription, seed) simulation request. */
 struct SweepJob
 {
@@ -49,6 +58,7 @@ struct SweepJob
     RunConfig cfg{};
     /** Functional (exact counts) or timing (IPC) simulator. */
     bool functional = true;
+    SweepTraceConfig trace_cfg{};
 };
 
 /** Outcome of one SweepJob (the half matching SweepJob::functional). */
@@ -56,6 +66,10 @@ struct SweepOutcome
 {
     PagingResult paging{};
     TimingResult timing{};
+    /** @{ valid when the job's SweepTraceConfig was enabled */
+    std::uint64_t traceDigest = 0;
+    std::uint64_t traceEvents = 0;
+    /** @} */
 };
 
 /** Deterministic parallel map over independent simulation jobs. */

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Trace exporters: JSONL (one event object per line, with a trailing
+ * summary record) and the Chrome about://tracing JSON array format, so a
+ * captured run can be eyeballed in a browser timeline.
+ *
+ * Both exporters walk the sink's ring — the most recent events — while
+ * the summary carries the digest over *all* accepted events, so a file is
+ * self-describing about any overflow truncation.
+ */
+
+#pragma once
+
+#include <ostream>
+
+#include "trace/trace_sink.hpp"
+
+namespace hpe::trace {
+
+/**
+ * Write one JSON object per line:
+ *   {"t":12,"kind":"eviction","sub":"","page":7,"value":1}
+ * followed by a summary line:
+ *   {"summary":{"events":N,"dropped":D,"digest":"<16 hex>"}}
+ */
+inline void
+writeJsonl(const TraceSink &sink, std::ostream &os)
+{
+    for (const TraceEvent &ev : sink.events()) {
+        os << "{\"t\":" << ev.time << ",\"kind\":\""
+           << eventKindName(ev.kind) << "\"";
+        if (const char *sub = subKindName(ev.kind, ev.sub); *sub != '\0')
+            os << ",\"sub\":\"" << sub << "\"";
+        os << ",\"page\":" << ev.page << ",\"value\":" << ev.value << "}\n";
+    }
+    os << "{\"summary\":{\"events\":" << sink.emitted() << ",\"dropped\":"
+       << sink.dropped() << ",\"digest\":\"" << sink.digestHexString()
+       << "\"}}\n";
+}
+
+/**
+ * Write the Chrome trace-event JSON format (load via about://tracing or
+ * ui.perfetto.dev).  Events become instant events on one thread per event
+ * kind; the sink clock maps to microseconds 1:1.
+ */
+inline void
+writeChromeTrace(const TraceSink &sink, std::ostream &os)
+{
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const TraceEvent &ev : sink.events()) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"name\":\"" << eventKindName(ev.kind);
+        if (const char *sub = subKindName(ev.kind, ev.sub); *sub != '\0')
+            os << ":" << sub;
+        os << "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":"
+           << static_cast<unsigned>(ev.kind) << ",\"ts\":" << ev.time
+           << ",\"args\":{\"page\":" << ev.page << ",\"value\":" << ev.value
+           << "}}";
+    }
+    if (!first)
+        os << "\n";
+    os << "],\"metadata\":{\"events\":" << sink.emitted() << ",\"dropped\":"
+       << sink.dropped() << ",\"digest\":\"" << sink.digestHexString()
+       << "\"}}\n";
+}
+
+} // namespace hpe::trace

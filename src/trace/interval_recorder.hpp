@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Interval metrics timeline: periodic snapshots of registered counters
+ * and gauges, every N references.
+ *
+ * The paper's analysis is time-resolved — which intervals fault, evict,
+ * and refault, and how occupancy and HPE's structures evolve — so the
+ * recorder turns the end-of-run aggregate counters into a time series:
+ *
+ *  - counters (monotonic Counter references) are reported as per-interval
+ *    deltas;
+ *  - gauges (callbacks) are sampled at the interval boundary (point in
+ *    time, e.g. resident pages or chain length).
+ *
+ * Boundary semantics, pinned by tests: a run of 0 references produces no
+ * samples; an exact multiple of N produces exactly refs/N samples; a
+ * partial tail produces one final short sample when finish() runs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+
+namespace hpe::trace {
+
+/** Periodic counter/gauge snapshotter; see file comment. */
+class IntervalRecorder
+{
+  public:
+    /** One row of the timeline; values align with columns(). */
+    struct Sample
+    {
+        std::uint64_t index = 0;    ///< interval number, 0-based
+        std::uint64_t startRef = 0; ///< first reference of the interval
+        std::uint64_t endRef = 0;   ///< one past the last reference
+        std::vector<std::uint64_t> values;
+    };
+
+    using Gauge = std::function<std::uint64_t()>;
+
+    /** @param every interval length in references; must be positive. */
+    explicit IntervalRecorder(std::uint64_t every) : every_(every)
+    {
+        if (every_ == 0)
+            fatal("interval length must be positive");
+    }
+
+    /** Add a monotonic counter column (reported as per-interval delta). */
+    void
+    addCounter(std::string column, const Counter &counter)
+    {
+        HPE_ASSERT(samples_.empty() && refs_ == 0,
+                   "interval columns must be added before the first reference");
+        counterNames_.push_back(std::move(column));
+        counters_.push_back(&counter);
+        lastValues_.push_back(0);
+    }
+
+    /** Add a gauge column (sampled at each boundary). */
+    void
+    addGauge(std::string column, Gauge gauge)
+    {
+        HPE_ASSERT(samples_.empty() && refs_ == 0,
+                   "interval columns must be added before the first reference");
+        gaugeNames_.push_back(std::move(column));
+        gauges_.push_back(std::move(gauge));
+    }
+
+    /** Account one reference; snapshots when the interval fills. */
+    void
+    onReference()
+    {
+        ++refs_;
+        if (refs_ - intervalStart_ == every_)
+            snapshot();
+    }
+
+    /** Flush a partial tail interval (idempotent; call at end of run). */
+    void
+    finish()
+    {
+        if (refs_ > intervalStart_)
+            snapshot();
+    }
+
+    /** Column names in value order: counters first, then gauges. */
+    std::vector<std::string>
+    columns() const
+    {
+        std::vector<std::string> cols = counterNames_;
+        cols.insert(cols.end(), gaugeNames_.begin(), gaugeNames_.end());
+        return cols;
+    }
+
+    const std::vector<Sample> &samples() const { return samples_; }
+    std::uint64_t references() const { return refs_; }
+    std::uint64_t intervalLength() const { return every_; }
+
+    /** Write the timeline as CSV: interval,start_ref,end_ref,columns... */
+    void
+    writeCsv(std::ostream &os) const
+    {
+        os << "interval,start_ref,end_ref";
+        for (const std::string &col : columns())
+            os << "," << col;
+        os << "\n";
+        for (const Sample &s : samples_) {
+            os << s.index << "," << s.startRef << "," << s.endRef;
+            for (std::uint64_t v : s.values)
+                os << "," << v;
+            os << "\n";
+        }
+    }
+
+  private:
+    void
+    snapshot()
+    {
+        Sample s;
+        s.index = samples_.size();
+        s.startRef = intervalStart_;
+        s.endRef = refs_;
+        s.values.reserve(counters_.size() + gauges_.size());
+        for (std::size_t i = 0; i < counters_.size(); ++i) {
+            const std::uint64_t v = counters_[i]->value();
+            s.values.push_back(v - lastValues_[i]);
+            lastValues_[i] = v;
+        }
+        for (const Gauge &g : gauges_)
+            s.values.push_back(g());
+        samples_.push_back(std::move(s));
+        intervalStart_ = refs_;
+    }
+
+    std::uint64_t every_;
+    std::uint64_t refs_ = 0;
+    std::uint64_t intervalStart_ = 0;
+
+    std::vector<std::string> counterNames_;
+    std::vector<const Counter *> counters_;
+    std::vector<std::uint64_t> lastValues_;
+    std::vector<std::string> gaugeNames_;
+    std::vector<Gauge> gauges_;
+
+    std::vector<Sample> samples_;
+};
+
+} // namespace hpe::trace

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -139,6 +140,114 @@ TEST(Commands, TraceRoundTripsThroughFile)
     const Trace t = loadTraceFile(path);
     EXPECT_GT(t.size(), 0u);
     std::remove(path.c_str());
+}
+
+TEST(Commands, RunTraceJsonlToStdout)
+{
+    std::ostringstream os;
+    const Args a = parse({"run", "--app", "STN", "--policy", "HPE",
+                          "--functional", "--scale", "0.25", "--oversub",
+                          "0.5", "--trace", "-"});
+    EXPECT_EQ(dispatch(a, os), 0);
+    EXPECT_NE(os.str().find("\"kind\":\"far_fault\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"summary\":{\"events\":"), std::string::npos);
+}
+
+TEST(Commands, RunTraceDigestIsStableAcrossRuns)
+{
+    const auto digestLine = [] {
+        std::ostringstream os;
+        const Args a = parse({"run", "--app", "STN", "--policy", "LRU",
+                              "--functional", "--scale", "0.25", "--oversub",
+                              "0.5", "--trace-digest"});
+        EXPECT_EQ(dispatch(a, os), 0);
+        const std::size_t at = os.str().find("trace digest ");
+        EXPECT_NE(at, std::string::npos);
+        return os.str().substr(at);
+    };
+    EXPECT_EQ(digestLine(), digestLine());
+}
+
+TEST(Commands, RunTraceEventFilterNarrowsOutput)
+{
+    std::ostringstream os;
+    const Args a = parse({"run", "--app", "STN", "--policy", "LRU",
+                          "--functional", "--scale", "0.25", "--oversub",
+                          "0.5", "--trace", "-", "--trace-events",
+                          "eviction"});
+    EXPECT_EQ(dispatch(a, os), 0);
+    EXPECT_NE(os.str().find("\"kind\":\"eviction\""), std::string::npos);
+    EXPECT_EQ(os.str().find("\"kind\":\"far_fault\""), std::string::npos);
+}
+
+TEST(Commands, RunIntervalStatsCsvToFile)
+{
+    const std::string path = ::testing::TempDir() + "/hpe_cli_intervals.csv";
+    std::ostringstream os;
+    const Args a = parse({"run", "--app", "STN", "--policy", "HPE",
+                          "--functional", "--scale", "0.25", "--oversub",
+                          "0.5", "--interval-stats", path.c_str(),
+                          "--interval", "100"});
+    EXPECT_EQ(dispatch(a, os), 0);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header.find("interval,start_ref,end_ref,faults"), 0u);
+    // HPE runs carry the policy-structure columns.
+    EXPECT_NE(header.find("chain_length"), std::string::npos);
+    std::string row;
+    EXPECT_TRUE(static_cast<bool>(std::getline(in, row)));
+    std::remove(path.c_str());
+}
+
+TEST(Commands, RunTraceOptionsWithoutConsumerAreFatal)
+{
+    std::ostringstream os;
+    const Args a = parse({"run", "--app", "STN", "--scale", "0.25",
+                          "--trace-events", "eviction"});
+    EXPECT_EXIT({ dispatch(a, os); }, ::testing::ExitedWithCode(1),
+                "need --trace");
+}
+
+TEST(Commands, ReportRendersIntervalTable)
+{
+    std::ostringstream os;
+    const Args a = parse({"report", "--app", "STN", "--policy", "LRU",
+                          "--functional", "--scale", "0.25", "--oversub",
+                          "0.5", "--interval", "200"});
+    EXPECT_EQ(dispatch(a, os), 0);
+    EXPECT_NE(os.str().find("interval 200 refs"), std::string::npos);
+    EXPECT_NE(os.str().find("occupancy"), std::string::npos);
+}
+
+TEST(Commands, ReportCsvMatchesRecorderFormat)
+{
+    std::ostringstream os;
+    const Args a = parse({"report", "--app", "STN", "--policy", "LRU",
+                          "--functional", "--scale", "0.25", "--oversub",
+                          "0.5", "--csv"});
+    EXPECT_EQ(dispatch(a, os), 0);
+    EXPECT_EQ(os.str().find("interval,start_ref,end_ref,faults"), 0u);
+}
+
+TEST(Commands, SweepTraceDigestsByteIdenticalAcrossJobs)
+{
+    const auto csv = [](const char *jobs) {
+        std::ostringstream os;
+        const Args a = parse({"sweep", "--scale", "0.05", "--functional",
+                              "--csv", "--trace-digests", "--jobs", jobs});
+        EXPECT_EQ(dispatch(a, os), 0);
+        return os.str();
+    };
+    const std::string one = csv("1");
+    const std::string four = csv("4");
+    EXPECT_EQ(one, four);
+    EXPECT_EQ(one.substr(0, one.find('\n')),
+              "app,policy,oversub,faults,evictions,ipc,trace_digest");
+    // Digest cells are 16 lowercase hex digits, never zero for a traced
+    // functional run.
+    EXPECT_EQ(one.find("0000000000000000"), std::string::npos);
 }
 
 TEST(Commands, UnknownCommandPrintsUsageAndFails)

@@ -335,12 +335,23 @@ TEST(Stats, CounterAccumulates)
     EXPECT_EQ(stats.findCounter("x.hits").value(), 5u);
 }
 
-TEST(Stats, SameNameSameCounter)
+TEST(Stats, DuplicateCounterRegistrationRejected)
 {
     StatRegistry stats;
     ++stats.counter("n");
-    ++stats.counter("n");
-    EXPECT_EQ(stats.findCounter("n").value(), 2u);
+    // A second registration under the same name is a wiring bug (two
+    // components would silently alias one counter), not a lookup.
+    EXPECT_EXIT({ stats.counter("n"); }, testing::ExitedWithCode(1),
+                "already registered");
+    EXPECT_EQ(stats.findCounter("n").value(), 1u);
+}
+
+TEST(Stats, DuplicateDistributionRegistrationRejected)
+{
+    StatRegistry stats;
+    stats.distribution("lat");
+    EXPECT_EXIT({ stats.distribution("lat"); }, testing::ExitedWithCode(1),
+                "already registered");
 }
 
 TEST(Stats, DistributionMoments)

@@ -191,7 +191,7 @@ TEST(PcieEdge, ZeroByteTransferIsANoOp)
     const Cycle horizon = link.horizon();
     EXPECT_EQ(link.transfer(horizon + 5, 0), horizon + 5);
     EXPECT_EQ(link.horizon(), horizon);
-    EXPECT_EQ(stats.counter("p.transfers").value(), 1u);
+    EXPECT_EQ(stats.findCounter("p.transfers").value(), 1u);
 #else
     // Debug builds: the caller bug is asserted on.
     EXPECT_DEATH({ link.transfer(0, 0); }, "zero-byte");

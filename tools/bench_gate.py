@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for CI.
+
+Compares a freshly produced BENCH_throughput.json against the baseline
+checked into the repository and fails (exit 1) when the geometric mean
+of the per-policy functional throughput (functional_krefs_per_s) drops
+more than TOLERANCE below the baseline geomean.
+
+Tolerance rationale: CI runners are shared and noisy; single-policy
+numbers swing +/-10% run to run, but the geomean across all five
+policies is much more stable. 20% headroom keeps the gate quiet on
+runner jitter while still catching real regressions (an accidental
+O(n) scan in the hot path costs 2-10x, far beyond 20%).
+
+Usage: bench_gate.py BASELINE.json FRESH.json [--tolerance 0.20]
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def geomean_functional(path):
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    rates = [
+        float(entry["functional_krefs_per_s"])
+        for entry in data["policies"].values()
+    ]
+    if not rates or any(r <= 0 for r in rates):
+        sys.exit(f"error: {path} has missing or non-positive throughput")
+    return math.exp(sum(math.log(r) for r in rates) / len(rates)), data
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional drop below baseline geomean")
+    args = ap.parse_args()
+
+    base_gm, _ = geomean_functional(args.baseline)
+    fresh_gm, fresh = geomean_functional(args.fresh)
+    floor = base_gm * (1.0 - args.tolerance)
+    ratio = fresh_gm / base_gm
+
+    print(f"baseline geomean: {base_gm:10.1f} krefs/s")
+    print(f"fresh geomean:    {fresh_gm:10.1f} krefs/s  ({ratio:.2%})")
+    print(f"floor ({1 - args.tolerance:.0%} of baseline): {floor:10.1f}")
+    for name, entry in fresh["policies"].items():
+        print(f"  {name:10s} {entry['functional_krefs_per_s']:>10} krefs/s")
+
+    if fresh_gm < floor:
+        print(f"FAIL: geomean dropped more than "
+              f"{args.tolerance:.0%} below baseline", file=sys.stderr)
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

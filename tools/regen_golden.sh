@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Regenerate (or verify) the golden trace digests and interval CSVs in
+# ci/golden/. CI's golden-trace job runs this with --check; after an
+# intentional simulator or tracing change, refresh the files with:
+#
+#     ./tools/regen_golden.sh path/to/hpe_sim
+#
+# and commit the result. Each (app, policy) cell is a functional run at
+# --scale 0.1 --seed 1: small enough for CI, big enough to exercise
+# faults, evictions, chain ops and HIR transitions.
+#
+# Usage:
+#   tools/regen_golden.sh [--check] [HPE_SIM_BINARY]
+#
+# Default binary: build/tools/hpe_sim relative to the repo root.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CHECK=0
+BIN=build/tools/hpe_sim
+for arg in "$@"; do
+    case "$arg" in
+        --check) CHECK=1 ;;
+        *) BIN="$arg" ;;
+    esac
+done
+
+if [[ ! -x "$BIN" ]]; then
+    echo "error: hpe_sim binary not found at '$BIN'" >&2
+    exit 2
+fi
+
+APPS=(HSD BFS KMN)
+POLICIES=(LRU HPE Ideal)
+SCALE=0.1
+SEED=1
+INTERVAL=500
+
+GOLDEN=ci/golden
+OUT="$GOLDEN"
+if [[ "$CHECK" == 1 ]]; then
+    OUT="$(mktemp -d)"
+    trap 'rm -rf "$OUT"' EXIT
+fi
+mkdir -p "$OUT"
+
+status=0
+for app in "${APPS[@]}"; do
+    for policy in "${POLICIES[@]}"; do
+        stem="${app}_${policy}"
+        "$BIN" run --app "$app" --policy "$policy" --functional \
+            --scale "$SCALE" --seed "$SEED" \
+            --trace-digest \
+            --interval-stats "$OUT/$stem.intervals.csv" \
+            --interval "$INTERVAL" \
+            | grep '^trace digest ' > "$OUT/$stem.digest"
+        if [[ "$CHECK" == 1 ]]; then
+            for f in "$stem.digest" "$stem.intervals.csv"; do
+                if ! cmp -s "$GOLDEN/$f" "$OUT/$f"; then
+                    echo "MISMATCH: $GOLDEN/$f" >&2
+                    diff -u "$GOLDEN/$f" "$OUT/$f" >&2 || true
+                    status=1
+                fi
+            done
+        fi
+    done
+done
+
+if [[ "$CHECK" == 1 ]]; then
+    if [[ "$status" == 0 ]]; then
+        echo "golden traces: all $(( ${#APPS[@]} * ${#POLICIES[@]} )) cells match"
+    else
+        echo "golden traces diverged; if intentional, regenerate with" >&2
+        echo "    ./tools/regen_golden.sh $BIN" >&2
+    fi
+    exit "$status"
+fi
+
+echo "regenerated $GOLDEN ($(ls "$GOLDEN" | wc -l) files)"
