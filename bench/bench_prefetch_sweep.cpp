@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Prefetch sweep: far-fault count versus memory provisioning for the
+ * streaming (Type I) and thrashing (Type II) applications, under each
+ * prefetcher.  Reproduces the fault-count-vs-oversubscription shape the
+ * UVM prefetching literature reports: on streaming access the sequential
+ * and density prefetchers convert most compulsory far-faults into
+ * speculative migrations, and the win survives memory pressure because
+ * speculative pages sit in the policy's cold tier and are evicted first.
+ *
+ * The "memory" column is GPU capacity as a fraction of the application
+ * footprint; 1.10 provisions slack beyond the footprint, so any faults
+ * left there are pure demand misses the prefetcher failed to hide.
+ */
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "sim/paging_simulator.hpp"
+
+namespace {
+
+using namespace hpe;
+using prefetch::PrefetchKind;
+
+struct Cell
+{
+    std::uint64_t faults = 0;
+    std::uint64_t prefetches = 0;
+    double accuracy = 0.0;
+};
+
+struct AppRows
+{
+    std::string app;
+    std::string type;
+    // rows[ratio][kind]
+    std::vector<std::vector<Cell>> rows;
+};
+
+constexpr double kRatios[] = {0.75, 0.90, 1.00, 1.10};
+constexpr PrefetchKind kKinds[] = {PrefetchKind::None, PrefetchKind::Sequential,
+                                   PrefetchKind::Stride, PrefetchKind::Density};
+
+std::size_t
+framesAtRatio(const Trace &t, double ratio)
+{
+    const auto fp = static_cast<double>(t.footprintPages());
+    return std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(fp * ratio)));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hpe;
+    const bench::Options opt = bench::parseOptions(argc, argv);
+    bench::banner("prefetch sweep: far-faults vs memory provisioning (HPE)",
+                  opt);
+
+    const std::vector<std::string> apps = {"HOT", "GEM", "HSD", "STN"};
+    const auto results = bench::forApps(opt, apps, [&](const std::string &app) {
+        AppRows out;
+        out.app = app;
+        out.type = bench::typeOf(app);
+        const Trace t = buildApp(app, opt.scale);
+        for (const double ratio : kRatios) {
+            std::vector<Cell> row;
+            for (const PrefetchKind kind : kKinds) {
+                StatRegistry stats;
+                auto policy = makePolicy(PolicyKind::Hpe, t, stats, {}, opt.seed);
+                PagingOptions popts;
+                popts.faultBatch = prefetch::FaultBatcher::kDefaultWindow;
+                popts.prefetch.kind = kind;
+                const auto r = runPaging(t, *policy, framesAtRatio(t, ratio),
+                                         stats, popts);
+                row.push_back({r.faults, r.prefetches, r.prefetchAccuracy()});
+            }
+            out.rows.push_back(std::move(row));
+        }
+        return out;
+    });
+
+    TextTable table({"app", "type", "memory", "none", "sequential", "stride",
+                     "density", "best reduction", "best accuracy"});
+    for (const AppRows &res : results) {
+        for (std::size_t ri = 0; ri < res.rows.size(); ++ri) {
+            const auto &row = res.rows[ri];
+            const double none = static_cast<double>(row[0].faults);
+            std::size_t best = 0;
+            for (std::size_t k = 1; k < row.size(); ++k)
+                if (row[k].faults < row[best].faults)
+                    best = k;
+            const double reduction =
+                none > 0 ? 1.0 - static_cast<double>(row[best].faults) / none
+                         : 0.0;
+            table.addRow({res.app, res.type, TextTable::num(kRatios[ri], 2),
+                          std::to_string(row[0].faults),
+                          std::to_string(row[1].faults),
+                          std::to_string(row[2].faults),
+                          std::to_string(row[3].faults),
+                          TextTable::num(100.0 * reduction, 1) + "%",
+                          TextTable::num(100.0 * row[best].accuracy, 1) + "%"});
+        }
+    }
+    table.print();
+
+    std::cout << "\n(faults = demand far-faults serviced; speculative "
+                 "migrations are counted\nseparately and never evict — "
+                 "prefetched pages land in HPE's cold/old set.)\n";
+    return 0;
+}

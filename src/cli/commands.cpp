@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "prefetch/prefetcher.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sweep.hpp"
 #include "trace/exporters.hpp"
@@ -28,6 +29,39 @@ policyByName(const std::string &name)
     fatal("unknown policy '{}' (try `hpe_sim list`)", name);
 }
 
+/**
+ * Apply the prefetch/batching options to @p cfg.  --prefetch takes a kind
+ * name (none/sequential/stride/density); a bare number is the legacy
+ * spelling and means a sequential prefetch of that degree, with exactly
+ * the original driver semantics.
+ */
+void
+applyPrefetchOptions(const Args &args, RunConfig &cfg)
+{
+    if (args.has("prefetch")) {
+        const std::string val = args.get("prefetch", "none");
+        if (auto kind = prefetch::prefetchKindByName(val))
+            cfg.gpu.driver.prefetch.kind = *kind;
+        else if (!val.empty()
+                 && val.find_first_not_of("0123456789") == std::string::npos)
+            cfg.gpu.driver.prefetchDegree =
+                static_cast<unsigned>(args.getUint("prefetch", 0));
+        else
+            fatal("unknown prefetcher '{}' (none, sequential, stride, "
+                  "density, or a sequential degree)",
+                  val);
+    }
+    if (args.has("prefetch-degree"))
+        cfg.gpu.driver.prefetch.degree =
+            static_cast<unsigned>(args.getUint("prefetch-degree", 4));
+    if (args.has("fault-batch")) {
+        const auto batch = args.getUint("fault-batch", 1);
+        if (batch == 0)
+            fatal("--fault-batch must be at least 1");
+        cfg.gpu.driver.batchSize = static_cast<unsigned>(batch);
+    }
+}
+
 /** Common workload/config options for run/compare/trace. */
 struct CommonOptions
 {
@@ -46,9 +80,7 @@ commonOptions(const Args &args)
     opt.cfg.seed = seed;
     if (args.has("walk-latency"))
         opt.cfg.gpu.walkLatency = args.getUint("walk-latency", 8);
-    if (args.has("prefetch"))
-        opt.cfg.gpu.driver.prefetchDegree =
-            static_cast<unsigned>(args.getUint("prefetch", 0));
+    applyPrefetchOptions(args, opt.cfg);
     if (args.has("multi-level-walker"))
         opt.cfg.gpu.walkerMode = WalkerMode::MultiLevel;
 
@@ -170,7 +202,8 @@ runCommand(const Args &args, std::ostream &os)
 {
     args.allowOnly(withTraceOptions(withChaosOptions(
         {"app", "policy", "oversub", "scale", "seed", "functional", "csv",
-         "stats", "walk-latency", "prefetch", "multi-level-walker"})));
+         "stats", "walk-latency", "prefetch", "prefetch-degree",
+         "fault-batch", "multi-level-walker"})));
     const auto opt = commonOptions(args);
     const PolicyKind kind = policyByName(args.get("policy", "HPE"));
     const bool functional = args.has("functional");
@@ -228,7 +261,8 @@ int
 compareCommand(const Args &args, std::ostream &os)
 {
     args.allowOnly(withChaosOptions(
-        {"app", "oversub", "scale", "seed", "extended", "csv", "jobs"}));
+        {"app", "oversub", "scale", "seed", "extended", "csv", "jobs",
+         "prefetch", "prefetch-degree", "fault-batch"}));
     const auto opt = commonOptions(args);
     const auto &kinds =
         args.has("extended") ? extendedPolicyKinds() : allPolicyKinds();
@@ -272,8 +306,8 @@ reportCommand(const Args &args, std::ostream &os)
 {
     args.allowOnly(withChaosOptions(
         {"app", "policy", "oversub", "scale", "seed", "functional",
-         "interval", "csv", "walk-latency", "prefetch",
-         "multi-level-walker"}));
+         "interval", "csv", "walk-latency", "prefetch", "prefetch-degree",
+         "fault-batch", "multi-level-walker"}));
     const auto opt = commonOptions(args);
     const PolicyKind kind = policyByName(args.get("policy", "HPE"));
     const bool functional = args.has("functional");
@@ -314,13 +348,15 @@ int
 sweepCommand(const Args &args, std::ostream &os)
 {
     args.allowOnly({"oversub", "scale", "seed", "extended", "csv",
-                    "functional", "jobs", "trace-digests"});
+                    "functional", "jobs", "trace-digests", "prefetch",
+                    "prefetch-degree", "fault-batch"});
     const double scale = args.getDouble("scale", 1.0);
     const std::uint64_t seed = args.getUint("seed", 1);
     const bool functional = args.has("functional");
     RunConfig cfg;
     cfg.oversub = args.getDouble("oversub", 0.75);
     cfg.seed = seed;
+    applyPrefetchOptions(args, cfg);
     const auto &kinds =
         args.has("extended") ? extendedPolicyKinds() : allPolicyKinds();
 
@@ -437,7 +473,9 @@ printUsage(std::ostream &os)
           "  run      one (app, policy) simulation\n"
           "           --app HSD --policy HPE --oversub 0.75 [--functional]\n"
           "           [--scale 1.0] [--seed 1] [--csv] [--stats]\n"
-          "           [--walk-latency 8] [--prefetch N] [--multi-level-walker]\n"
+          "           [--walk-latency 8] [--multi-level-walker]\n"
+          "           [--prefetch none|sequential|stride|density|N]\n"
+          "           [--prefetch-degree N] [--fault-batch N]\n"
           "           [--validate] [--degrade] [--chaos-seed N]\n"
           "           [--chaos-pcie-fail P] [--chaos-pcie-stall P]\n"
           "           [--chaos-service-timeout P] [--chaos-shootdown-drop P]\n"
@@ -447,10 +485,12 @@ printUsage(std::ostream &os)
           "           [--trace-digest] [--interval-stats FILE|-] [--interval N]\n"
           "  compare  every policy on one app\n"
           "           --app HSD [--oversub 0.75] [--extended] [--csv]\n"
-          "           [--jobs N] [chaos options as for run]\n"
+          "           [--jobs N] [--prefetch KIND] [--prefetch-degree N]\n"
+          "           [--fault-batch N] [chaos options as for run]\n"
           "  sweep    every policy on every Table II app, in parallel\n"
           "           [--oversub 0.75] [--functional] [--extended] [--csv]\n"
           "           [--scale 1.0] [--seed 1] [--jobs N] [--trace-digests]\n"
+          "           [--prefetch KIND] [--prefetch-degree N] [--fault-batch N]\n"
           "  report   per-interval metrics timeline of one (app, policy) run\n"
           "           --app HSD --policy HPE [--interval 1000] [--functional]\n"
           "           [--csv] [chaos options as for run]\n"

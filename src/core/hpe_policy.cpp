@@ -238,6 +238,20 @@ HpePolicy::onMigrateIn(PageId page)
     HPE_ASSERT(inserted, "double migrate-in of page {:#x}", page);
 }
 
+void
+HpePolicy::onPrefetchIn(PageId page)
+{
+    const auto [it, inserted] = resident_.insert(page);
+    (void)it;
+    HPE_ASSERT(inserted, "double prefetch-in of page {:#x}", page);
+    // Without a chain entry the page would be invisible to victim search
+    // (only the resident-set fallback could reclaim it); a cold insert at
+    // the old partition's LRU end makes speculation the first thing every
+    // strategy drains.  No HIR record and no touch: the page has shown
+    // neither recency nor frequency.
+    chain_.insertCold(page);
+}
+
 std::uint64_t
 HpePolicy::takePendingTransferBytes()
 {

@@ -52,6 +52,10 @@ class HpePolicy : public EvictionPolicy
     PageId selectVictim() override;
     void onEvict(PageId page) override;
     void onMigrateIn(PageId page) override;
+    /** Speculative arrival: the page's set enters the chain's old
+     *  partition cold (no counter, no recency), so MRU-C and LRU alike
+     *  drain speculation before any tracked set. */
+    void onPrefetchIn(PageId page) override;
     std::string name() const override { return "HPE"; }
 
     void reserveCapacity(std::size_t frames) override { resident_.reserve(frames); }

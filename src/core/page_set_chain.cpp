@@ -142,6 +142,47 @@ PageSetChain::touch(PageId page, std::uint32_t count, bool is_fault)
     return result;
 }
 
+ChainEntry &
+PageSetChain::insertCold(PageId page)
+{
+    const PageSetId set = setOf(page);
+    const std::uint32_t offset = offsetOf(page);
+    const bool secondary = !belongsToPrimary(page);
+
+    ChainEntry *entry = find(set, secondary);
+    if (entry == nullptr) {
+        // Mirror create(), but land at the LRU end of the old partition:
+        // a set that exists only through speculation has shown no recency
+        // at all, so it must not displace tracked sets from the eviction
+        // order.
+        auto node = std::make_unique<ChainEntry>();
+        entry = node.get();
+        entry->set = set;
+        entry->secondary = secondary;
+        entry->part = Partition::Old;
+        if (!secondary) {
+            if (auto it = history_.find(set); it != history_.end()) {
+                entry->divided = true;
+                entry->primaryMask = it->second;
+            }
+        }
+        old_.pushFront(*entry);
+        entries_.emplace(ChainEntry::keyOf(set, secondary), std::move(node));
+        ++insertions_;
+        emitChainOp(static_cast<std::uint8_t>(trace::ChainOpKind::Insert), set,
+                    secondary ? 1 : 0);
+    }
+    // The page is resident now, so the bit-vector records it (victim
+    // search walks these bits); the counter and the entry's position are
+    // untouched — speculation earns no frequency and no recency.
+    entry->bitVec |= std::uint64_t{1} << offset;
+    if (sink_ != nullptr)
+        sink_->emit(trace::EventKind::Demotion,
+                    static_cast<std::uint8_t>(trace::PromotionScope::HpePageSet),
+                    set, 1);
+    return *entry;
+}
+
 void
 PageSetChain::endInterval()
 {

@@ -102,6 +102,17 @@ class PageSetChain
     TouchResult touch(PageId page, std::uint32_t count, bool is_fault);
 
     /**
+     * Record the *speculative* arrival of @p page (prefetch): mark its bit
+     * in the owning entry's bit vector without bumping the counter and
+     * without any recency promotion.  An absent entry is created at the
+     * LRU end of the **old** partition — the position every eviction
+     * strategy drains first — so speculation enters the chain's coldest
+     * tier instead of the protected new partition.  Emits a Demotion
+     * event (HpePageSet scope, value 1) when a sink is attached.
+     */
+    ChainEntry &insertCold(PageId page);
+
+    /**
      * End the current interval: old absorbs middle, the new partition
      * becomes the middle partition (P1 <- P2, P2 <- tail).
      */

@@ -5,9 +5,13 @@
  * GPUs cannot run OS fault handlers in the shader pipeline, so faults are
  * forwarded to a software runtime on the host CPU (§II).  This model:
  *
- *  - queues faults and services them one at a time with the paper's fixed
- *    20 us handling latency (Table I);
+ *  - accumulates faults in a FaultBatcher window (batchSize; real UVM
+ *    drivers drain the GPU fault buffer in batches per interrupt) and
+ *    services a drained batch with starts staggered by the initiation
+ *    interval — the amortized batch-service model;
  *  - merges concurrent faults on the same page into one service;
+ *  - runs the configured prefetcher (sequential / stride / density) after
+ *    each serviced fault, filling only free frames;
  *  - performs eviction + migration through the UvmMemoryManager at service
  *    completion time;
  *  - charges HPE's periodic HIR transfers to the PCIe link and extends the
@@ -27,8 +31,8 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +45,8 @@
 #include "driver/pcie.hpp"
 #include "driver/resilience.hpp"
 #include "driver/uvm_manager.hpp"
+#include "prefetch/fault_batcher.hpp"
+#include "prefetch/prefetcher.hpp"
 
 namespace hpe {
 
@@ -64,11 +70,18 @@ struct DriverConfig
      * in as well (the NVIDIA driver's basic-block prefetch heuristic).
      * Prefetching only fills *free* frames — it never evicts.  0 = off
      * (the paper's configuration).
+     *
+     * Legacy knob: when prefetch.kind is None and this is non-zero, the
+     * driver builds a sequential prefetcher with this degree and
+     * prefetchBlockPages, preserving the original behaviour bit for bit.
      */
     unsigned prefetchDegree = 0;
 
-    /** Aligned block size the prefetcher stays within (pages). */
+    /** Aligned block size the legacy sequential prefetcher stays within. */
     unsigned prefetchBlockPages = 16;
+
+    /** Pluggable prefetcher selection (kind None = demand paging only). */
+    prefetch::PrefetchConfig prefetch{};
 
     /**
      * Accumulate up to this many faults before initiating service — real
@@ -105,11 +118,24 @@ class GpuDriver
               HpePolicy *hpe = nullptr)
         : cfg_(cfg), uvm_(uvm), pcie_(pcie), eq_(eq), hpe_(hpe),
           stats_(stats), name_(name),
+          batcher_(std::max(1u, cfg.batchSize)),
           serviced_(stats.counter(name + ".faultsServiced")),
           merged_(stats.counter(name + ".faultsMerged")),
           prefetched_(stats.counter(name + ".pagesPrefetched")),
-          queueDepth_(stats.distribution(name + ".queueDepth"))
-    {}
+          batches_(stats.counter(name + ".batches")),
+          queueDepth_(stats.distribution(name + ".queueDepth")),
+          batchOccupancy_(stats.distribution(name + ".batchOccupancy"))
+    {
+        // Legacy back-compat: the old --prefetch N knob maps onto the
+        // sequential prefetcher with the configured block size.
+        if (cfg_.prefetch.kind == prefetch::PrefetchKind::None
+            && cfg_.prefetchDegree > 0) {
+            cfg_.prefetch.kind = prefetch::PrefetchKind::Sequential;
+            cfg_.prefetch.degree = cfg_.prefetchDegree;
+            cfg_.prefetch.blockPages = cfg_.prefetchBlockPages;
+        }
+        prefetcher_ = prefetch::makePrefetcher(cfg_.prefetch);
+    }
 
     /**
      * Attach a chaos injector: fault services may now time out or have
@@ -138,14 +164,16 @@ class GpuDriver
 
     /**
      * A translation for @p page faulted; @p wakeup fires once the page is
-     * resident.  Faults on a page already being serviced merge.
+     * resident.  Faults on a page already being serviced merge.  The
+     * optional @p stream identifies the faulting access stream (warp) so
+     * stream-aware prefetchers can train per-stream state.
      *
      * @return true if this request initiated the fault service; false if
      *         it merged into one already in flight (the caller's visit is
      *         then an ordinary reference once the page arrives).
      */
     bool
-    requestPage(PageId page, Wakeup wakeup)
+    requestPage(PageId page, Wakeup wakeup, std::uint32_t stream = 0)
     {
         auto it = waiters_.find(page);
         if (it != waiters_.end()) {
@@ -154,8 +182,9 @@ class GpuDriver
             return false;
         }
         waiters_[page].push_back(std::move(wakeup));
-        queue_.push_back(page);
-        queueDepth_.sample(static_cast<double>(queue_.size()));
+        streamOf_[page] = stream;
+        batcher_.push(page, /*write=*/false, eq_.now());
+        queueDepth_.sample(static_cast<double>(batcher_.size()));
         maybeLaunch();
         return true;
     }
@@ -171,7 +200,7 @@ class GpuDriver
     void
     maybeLaunch()
     {
-        if (cfg_.batchSize <= 1 || queue_.size() >= cfg_.batchSize) {
+        if (cfg_.batchSize <= 1 || batcher_.full()) {
             launchAll();
             return;
         }
@@ -184,19 +213,28 @@ class GpuDriver
         }
     }
 
-    /** Launch queued faults, staggered by the initiation interval. */
+    /**
+     * Drain the fault batch, staggering service starts by the initiation
+     * interval.  This is the amortized batch-service model: a batch of N
+     * occupies the host for N initiation slices but completes within
+     * faultServiceCycles + (N-1) * serviceInitiationCycles — far less
+     * than N independent full-latency services.
+     */
     void
     launchAll()
     {
-        while (!queue_.empty()) {
+        const auto batch = batcher_.flush();
+        if (batch.empty())
+            return; // flush timer fired after a size-triggered drain
+        ++batches_;
+        batchOccupancy_.sample(static_cast<double>(batch.size()));
+        for (const prefetch::PendingFault &pf : batch) {
             const Cycle start = std::max(eq_.now(), nextStart_);
             nextStart_ = start + cfg_.serviceInitiationCycles;
-            const PageId page = queue_.front();
-            queue_.pop_front();
             // Host-core occupancy: the initiation slice per fault.
             busyCycles_ += cfg_.serviceInitiationCycles;
             eq_.schedule(start + cfg_.faultServiceCycles,
-                         [this, page] { complete(page); });
+                         [this, page = pf.page] { complete(page); });
         }
     }
 
@@ -241,6 +279,11 @@ class GpuDriver
         }
         if (sink_ != nullptr)
             sink_->advanceTo(eq_.now());
+        std::uint32_t stream = 0;
+        if (auto sit = streamOf_.find(page); sit != streamOf_.end()) {
+            stream = sit->second;
+            streamOf_.erase(sit);
+        }
         const FaultOutcome outcome = uvm_.handleFault(page);
         ++serviced_;
 
@@ -250,21 +293,25 @@ class GpuDriver
         if (outcome.evicted && outcome.victimDirty)
             done = pcie_.transfer(done, kPageBytes);
 
-        // Sequential block prefetch into free frames.  Pages with a fault
-        // already queued are left to their own service.
-        if (cfg_.prefetchDegree > 0) {
-            const PageId block_end =
-                (page / cfg_.prefetchBlockPages + 1) * cfg_.prefetchBlockPages;
-            PageId q = page + 1;
-            for (unsigned n = 0;
-                 n < cfg_.prefetchDegree && q < block_end
-                 && uvm_.hasFreeFrame();
-                 ++n, ++q) {
-                if (uvm_.resident(q) || waiters_.contains(q))
+        // Speculative migration into free frames (never evicts).  Pages
+        // with a fault already queued are left to their own service; they
+        // count as late — the speculation was right but lost the race.
+        if (prefetcher_ != nullptr) {
+            candidates_.clear();
+            prefetcher_->candidates(
+                page, stream, [this](PageId p) { return uvm_.resident(p); },
+                candidates_);
+            for (const PageId q : candidates_) {
+                if (!uvm_.hasFreeFrame())
+                    break;
+                if (waiters_.contains(q)) {
+                    uvm_.notePrefetchLate();
                     continue;
-                uvm_.prefetchIn(q);
-                done = pcie_.transfer(done, kPageBytes);
-                ++prefetched_;
+                }
+                if (uvm_.prefetchIn(q) == PrefetchOutcome::Prefetched) {
+                    done = pcie_.transfer(done, kPageBytes);
+                    ++prefetched_;
+                }
             }
         }
         // HIR batches ride the PCIe link with the evicted page; their
@@ -291,7 +338,10 @@ class GpuDriver
     StatRegistry &stats_;
     std::string name_;
 
-    std::deque<PageId> queue_;
+    prefetch::FaultBatcher batcher_;
+    std::unique_ptr<prefetch::Prefetcher> prefetcher_;
+    std::vector<PageId> candidates_;
+    std::unordered_map<PageId, std::uint32_t> streamOf_;
     std::unordered_map<PageId, std::vector<Wakeup>> waiters_;
     Cycle nextStart_ = 0;
     Cycle busyCycles_ = 0;
@@ -310,7 +360,9 @@ class GpuDriver
     Counter &serviced_;
     Counter &merged_;
     Counter &prefetched_;
+    Counter &batches_;
     Distribution &queueDepth_;
+    Distribution &batchOccupancy_;
 };
 
 } // namespace hpe

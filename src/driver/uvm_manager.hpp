@@ -44,6 +44,14 @@
 
 namespace hpe {
 
+/** What a speculative migration attempt did. */
+enum class PrefetchOutcome : std::uint8_t
+{
+    Prefetched,      ///< the page is now resident (speculatively)
+    NoFreeFrame,     ///< memory is full — prefetching never evicts
+    AlreadyResident, ///< benign race: a fault/prefetch landed it first
+};
+
 /** What one fault service did (for TLB shootdown and PCIe accounting). */
 struct FaultOutcome
 {
@@ -79,7 +87,10 @@ class UvmMemoryManager
           hits_(stats.counter(name + ".hits")),
           refaults_(stats.counter(name + ".refaults")),
           dirtyEvictions_(stats.counter(name + ".dirtyEvictions")),
-          prefetches_(stats.counter(name + ".prefetches"))
+          prefetches_(stats.counter(name + ".prefetches")),
+          prefetchUseful_(stats.counter(name + ".prefetchUseful")),
+          prefetchWasted_(stats.counter(name + ".prefetchWasted")),
+          prefetchLate_(stats.counter(name + ".prefetchLate"))
     {
         // Memory capacity bounds every policy's resident-page bookkeeping;
         // letting it pre-size its indices keeps rehashing off the fault path.
@@ -94,9 +105,24 @@ class UvmMemoryManager
     recordHit(PageId page)
     {
         ++hits_;
+        noteSpeculativeUse(page);
         if (detector_ != nullptr)
             lastTouch_[page] = ++touchClock_;
         policy_.onHit(page);
+    }
+
+    /**
+     * A real reference touched @p page: if it arrived by prefetch and had
+     * not been referenced yet, count the speculation as useful.  Called
+     * from recordHit() and, in timing runs where HPE's walk hits bypass
+     * the manager (the walker feeds the HIR cache directly), from the
+     * GpuSystem hit observer.
+     */
+    void
+    noteSpeculativeUse(PageId page)
+    {
+        if (speculative_.size() != 0 && speculative_.erase(page))
+            ++prefetchUseful_;
     }
 
     /** Mark @p page written; its eviction then requires a writeback. */
@@ -145,6 +171,8 @@ class UvmMemoryManager
                 lastTouch_.erase(victim);
             out.evicted = true;
             out.victim = victim;
+            if (speculative_.size() != 0 && speculative_.erase(victim))
+                ++prefetchWasted_; // prefetched, never referenced, now gone
             out.victimDirty = dirty_.erase(victim);
             if (out.victimDirty)
                 ++dirtyEvictions_;
@@ -188,29 +216,46 @@ class UvmMemoryManager
 
     /**
      * Migrate @p page in as a prefetch: no fault is charged and the
-     * eviction policy only learns of the arrival (onMigrateIn).  Only
-     * legal while a free frame exists — prefetching never evicts.
+     * eviction policy learns of the arrival through onPrefetchIn, which
+     * places the page in its coldest tier.  Prefetching never evicts and
+     * never displaces an existing mapping; instead of asserting, both
+     * conditions report a typed outcome so speculative callers can race
+     * demand faults safely.
      */
-    void
+    PrefetchOutcome
     prefetchIn(PageId page)
     {
-        HPE_ASSERT(!table_.resident(page), "prefetch of resident page {:#x}", page);
-        HPE_ASSERT(!frames_.full(), "prefetch would require an eviction");
+        if (table_.resident(page))
+            return PrefetchOutcome::AlreadyResident;
+        if (frames_.full())
+            return PrefetchOutcome::NoFreeFrame;
         const FrameId frame = frames_.allocate();
         table_.map(page, frame);
         if (radixMirror_ != nullptr)
             radixMirror_->map(page, frame);
         if (sink_ != nullptr)
             sink_->emit(trace::EventKind::Migration, 1, page, 0);
-        policy_.onMigrateIn(page);
+        policy_.onPrefetchIn(page);
+        speculative_.insert(page);
         if (detector_ != nullptr)
             lastTouch_[page] = ++touchClock_;
         ++prefetches_;
         if (validateHook_)
             validateHook_();
+        return PrefetchOutcome::Prefetched;
     }
 
+    /** A prefetch candidate already had a demand fault pending: the
+     *  speculation would have helped, but came too late to matter. */
+    void notePrefetchLate() { ++prefetchLate_; }
+
     std::uint64_t prefetches() const { return prefetches_.value(); }
+    /** Prefetched pages later referenced before eviction. */
+    std::uint64_t prefetchUseful() const { return prefetchUseful_.value(); }
+    /** Prefetched pages evicted without ever being referenced. */
+    std::uint64_t prefetchWasted() const { return prefetchWasted_.value(); }
+    /** Prefetch candidates that already had a pending demand fault. */
+    std::uint64_t prefetchLate() const { return prefetchLate_.value(); }
 
     /** True while a free frame remains (prefetching is allowed). */
     bool hasFreeFrame() const { return !frames_.full(); }
@@ -323,6 +368,8 @@ class UvmMemoryManager
     trace::TraceSink *sink_ = nullptr;
     DensePageSet evictedOnce_;
     DensePageSet dirty_;
+    /** Prefetched pages that have not yet been demand-referenced. */
+    DensePageSet speculative_;
 
     /** @{ graceful degradation (allocated by enableDegradation only) */
     std::unique_ptr<ThrashingDetector> detector_;
@@ -339,6 +386,9 @@ class UvmMemoryManager
     Counter &refaults_;
     Counter &dirtyEvictions_;
     Counter &prefetches_;
+    Counter &prefetchUseful_;
+    Counter &prefetchWasted_;
+    Counter &prefetchLate_;
 };
 
 } // namespace hpe

@@ -32,7 +32,12 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const Trace &trace,
     // transfer cost — delivered per translated visit in memAccess().
     idealHitChannel_ = (hpe == nullptr);
     if (!idealHitChannel_)
-        walker_->setHitObserver([&policy](PageId page) { policy.onHit(page); });
+        walker_->setHitObserver([this, &policy](PageId page) {
+            // Walk hits bypass UvmMemoryManager::recordHit on this channel,
+            // so prefetch-usefulness accounting needs its own tap here.
+            uvm_.noteSpeculativeUse(page);
+            policy.onHit(page);
+        });
 
     uvm_.setEvictHook([this](PageId page) { onEvictPage(page); });
 
@@ -183,11 +188,13 @@ GpuSystem::translate(Warp &warp, Addr addr)
                 // A merged request is not "the" fault: its visit reaches
                 // the policy as an ordinary reference after the wakeup.
                 warp.visitFaulted = driver_.requestPage(
-                    page, [this, &warp, &sm, addr, page] {
+                    page,
+                    [this, &warp, &sm, addr, page] {
                         sm.l1Tlb->fill(page);
                         l2Tlb_->fill(page);
                         translate(warp, addr);
-                    });
+                    },
+                    static_cast<std::uint32_t>(&warp - warps_.data()));
             });
         });
     });

@@ -228,6 +228,45 @@ ClockProPolicy::onMigrateIn(PageId page)
     insertNew(page);
 }
 
+void
+ClockProPolicy::onPrefetchIn(PageId page)
+{
+    auto it = nodes_.find(page);
+    if (it != nodes_.end()) {
+        // The page has non-resident test metadata, but this arrival is
+        // speculation, not a demonstrated refault — no hot promotion.
+        // It rejoins the clock as a plain resident cold page.
+        Node &n = *it->second;
+        HPE_ASSERT(n.state == State::ColdNonResident,
+                   "prefetch-in of already-resident page {:#x}", page);
+        --numColdNonRes_;
+        unlink(n);
+        clock_.pushFront(n);
+        n.state = State::ColdResident;
+        n.ref = false;
+        n.test = false;
+        ++numColdRes_;
+    } else {
+        // Brand-new page: resident cold at the *oldest* clock position and
+        // outside any test period, so HAND_cold reclaims it first unless a
+        // real reference arrives.
+        auto node = std::make_unique<Node>();
+        Node &n = *node;
+        n.page = page;
+        n.state = State::ColdResident;
+        n.test = false;
+        clock_.pushFront(n);
+        nodes_.emplace(page, std::move(node));
+        ++numColdRes_;
+    }
+    // Observable cold placement of a speculative page (value 1 flags the
+    // speculation, distinguishing it from hot->cold demotions).
+    if (sink_ != nullptr)
+        sink_->emit(trace::EventKind::Demotion,
+                    static_cast<std::uint8_t>(trace::PromotionScope::ClockProPage),
+                    page, 1);
+}
+
 std::optional<std::vector<PageId>>
 ClockProPolicy::trackedResidentPages() const
 {

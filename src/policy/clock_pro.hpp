@@ -50,6 +50,9 @@ class ClockProPolicy : public EvictionPolicy
     PageId selectVictim() override;
     void onEvict(PageId page) override;
     void onMigrateIn(PageId page) override;
+    /** Speculative arrival: resident cold, *outside* any test period, so
+     *  speculation can never ride the test-period shortcut to hot. */
+    void onPrefetchIn(PageId page) override;
     std::string name() const override { return "CLOCK-Pro"; }
 
     // Hot/cold transitions are CLOCK-Pro's LIR/HIR analog; they surface as

@@ -33,6 +33,10 @@ class TraceSink;
  *  - selectVictim(): GPU memory is full; return some resident page.
  *  - onEvict(p):     p was unmapped and transferred to the host.
  *  - onMigrateIn(p): p is now resident in GPU memory.
+ *  - onPrefetchIn(p): p is now resident, but speculatively — no fault was
+ *    observed.  Policies with a protected/probationary split insert p in
+ *    the probationary (cold/HIR) tier so speculation cannot pollute the
+ *    protected working set; the default treats it as an ordinary arrival.
  */
 class EvictionPolicy
 {
@@ -53,6 +57,13 @@ class EvictionPolicy
 
     /** @p page has been migrated into GPU memory. */
     virtual void onMigrateIn(PageId page) = 0;
+
+    /**
+     * @p page has been speculatively migrated in (prefetch; no fault was
+     * charged).  Overrides must leave the page eviction-preferred: it
+     * earned residency by address adjacency, not by demonstrated reuse.
+     */
+    virtual void onPrefetchIn(PageId page) { onMigrateIn(page); }
 
     /** Human-readable policy name for reports. */
     virtual std::string name() const = 0;

@@ -56,6 +56,17 @@ class LruPolicy : public EvictionPolicy
         nodes_.emplace(page, std::move(node));
     }
 
+    /** Speculative arrivals enter at the LRU (cold) end: a prefetched
+     *  page is the first victim unless it proves itself with a hit. */
+    void
+    onPrefetchIn(PageId page) override
+    {
+        auto node = std::make_unique<Node>();
+        node->page = page;
+        chain_.pushFront(*node);
+        nodes_.emplace(page, std::move(node));
+    }
+
     std::string name() const override { return "LRU"; }
 
     void reserveCapacity(std::size_t frames) override { nodes_.reserve(frames); }

@@ -24,10 +24,20 @@ runFunctionalInspect(const Trace &trace, PolicyKind kind, const RunConfig &cfg,
     run.policy = makePolicy(kind, trace, *run.stats, cfg.hpe, cfg.seed);
     // The GpuConfig carries the resilience knobs for both modes; the
     // functional path honours the ones that exist without timing.
-    const PagingOptions opts{.degradation = cfg.gpu.degradation,
-                             .validate = cfg.gpu.validate,
-                             .sink = attach.sink,
-                             .intervals = attach.intervals};
+    PagingOptions opts{.degradation = cfg.gpu.degradation,
+                       .validate = cfg.gpu.validate,
+                       .sink = attach.sink,
+                       .intervals = attach.intervals,
+                       .faultBatch = cfg.gpu.driver.batchSize,
+                       .prefetch = cfg.gpu.driver.prefetch};
+    // The legacy --prefetch N knob maps onto the sequential prefetcher,
+    // mirroring the timing driver's back-compat rule.
+    if (opts.prefetch.kind == prefetch::PrefetchKind::None
+        && cfg.gpu.driver.prefetchDegree > 0) {
+        opts.prefetch.kind = prefetch::PrefetchKind::Sequential;
+        opts.prefetch.degree = cfg.gpu.driver.prefetchDegree;
+        opts.prefetch.blockPages = cfg.gpu.driver.prefetchBlockPages;
+    }
     run.paging = runPaging(trace, *run.policy, framesFor(trace, cfg.oversub),
                            *run.stats, opts);
     return run;

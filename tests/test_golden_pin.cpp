@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Golden-trace pin: replays every ci/golden cell in-process and compares
+ * the digest line and interval CSV byte-for-byte against the committed
+ * files.  The demand-paging cells run with the prefetch/batching code
+ * explicitly disabled (--prefetch none --fault-batch 1), proving that
+ * compiling the new subsystem in changes *nothing* unless it is turned
+ * on; the density cell pins the prefetcher-enabled event stream.
+ *
+ * Paths resolve against HPE_REPO_ROOT (a compile definition), so the test
+ * works from any build directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+
+namespace hpe {
+namespace {
+
+std::string
+goldenPath(const std::string &file)
+{
+    return std::string(HPE_REPO_ROOT) + "/ci/golden/" + file;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ADD_FAILURE() << "cannot read golden file " << path;
+        return {};
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Run one golden cell exactly as tools/regen_golden.sh does, with the
+ * interval CSV routed to stdout after the digest line; the output starts
+ * with digest-line + CSV — the concatenation of the two golden files —
+ * followed by the human-readable run report (not golden-pinned).
+ */
+std::string
+runCell(const std::vector<const char *> &extra)
+{
+    std::vector<const char *> argv = {
+        "hpe_sim", "run",        "--functional", "--scale",  "0.1",
+        "--seed",  "1",          "--trace-digest", "--interval-stats", "-",
+        "--interval", "500",
+    };
+    argv.insert(argv.end(), extra.begin(), extra.end());
+    const cli::Args args =
+        cli::Args::parse(static_cast<int>(argv.size()), argv.data());
+    std::ostringstream os;
+    EXPECT_EQ(cli::runCommand(args, os), 0);
+    return os.str();
+}
+
+/** The pinned bytes must be non-empty and open the cell's output. */
+void
+expectPinned(const std::string &got, const std::string &expected,
+             const std::string &label)
+{
+    ASSERT_FALSE(expected.empty()) << label;
+    EXPECT_EQ(got.substr(0, expected.size()), expected)
+        << "golden cell " << label << " diverged";
+}
+
+TEST(GoldenPin, DisabledPrefetchCellsAreByteIdentical)
+{
+    for (const char *app : {"HSD", "BFS", "KMN"}) {
+        for (const char *policy : {"LRU", "HPE", "Ideal"}) {
+            const std::string stem = std::string(app) + "_" + policy;
+            const std::string expected = readFile(goldenPath(stem + ".digest"))
+                + readFile(goldenPath(stem + ".intervals.csv"));
+            const std::string got = runCell({"--app", app, "--policy", policy,
+                                             "--prefetch", "none",
+                                             "--fault-batch", "1"});
+            expectPinned(got, expected, stem + " (prefetch disabled)");
+        }
+    }
+}
+
+TEST(GoldenPin, DefaultConfigMatchesDisabledConfig)
+{
+    // The defaults must *be* the disabled configuration.
+    const std::string expected = readFile(goldenPath("HSD_HPE.digest"))
+        + readFile(goldenPath("HSD_HPE.intervals.csv"));
+    expectPinned(runCell({"--app", "HSD", "--policy", "HPE"}), expected,
+                 "HSD_HPE (defaults)");
+}
+
+TEST(GoldenPin, DensityPrefetchCellIsByteIdentical)
+{
+    const std::string expected =
+        readFile(goldenPath("KMN_HPE_density.digest"))
+        + readFile(goldenPath("KMN_HPE_density.intervals.csv"));
+    const std::string got = runCell(
+        {"--app", "KMN", "--policy", "HPE", "--prefetch", "density"});
+    expectPinned(got, expected, "KMN_HPE_density");
+}
+
+} // namespace
+} // namespace hpe

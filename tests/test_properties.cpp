@@ -112,6 +112,26 @@ INSTANTIATE_TEST_SUITE_P(
             + std::to_string(std::get<1>(info.param));
     });
 
+TEST_P(StackPropertyTest, PrefetchNeverWorsensFullMemory)
+{
+    // At oversub 1.0 a prefetcher can only convert compulsory faults into
+    // speculative migrations: every footprint page becomes resident via a
+    // fault or a prefetch, and the only memory pressure speculation can
+    // create is its own (the density prefetcher may guess past the
+    // footprint edge in the last partial basin) — so any eviction must be
+    // an unreferenced speculative page, never tracked data.
+    const Trace t = buildApp(GetParam(), 0.5);
+    RunConfig cfg;
+    cfg.oversub = 1.0;
+    cfg.gpu.driver.prefetch.kind = prefetch::PrefetchKind::Density;
+    cfg.gpu.driver.prefetch.degree = 16;
+    const auto r = runFunctional(t, PolicyKind::Lru, cfg);
+    EXPECT_LE(r.faults, t.footprintPages());
+    EXPECT_EQ(r.faults + r.hits, r.references);
+    EXPECT_EQ(r.evictions, r.prefetchWasted);
+    EXPECT_LE(t.footprintPages(), r.faults + r.prefetches);
+}
+
 TEST(GpuCorners, SingleVisitTrace)
 {
     Trace t("1", "one", "s", PatternType::I);

@@ -47,30 +47,39 @@ fi
 mkdir -p "$OUT"
 
 status=0
+run_cell() {
+    local stem="$1"
+    shift
+    "$BIN" run "$@" --functional \
+        --scale "$SCALE" --seed "$SEED" \
+        --trace-digest \
+        --interval-stats "$OUT/$stem.intervals.csv" \
+        --interval "$INTERVAL" \
+        | grep '^trace digest ' > "$OUT/$stem.digest"
+    if [[ "$CHECK" == 1 ]]; then
+        for f in "$stem.digest" "$stem.intervals.csv"; do
+            if ! cmp -s "$GOLDEN/$f" "$OUT/$f"; then
+                echo "MISMATCH: $GOLDEN/$f" >&2
+                diff -u "$GOLDEN/$f" "$OUT/$f" >&2 || true
+                status=1
+            fi
+        done
+    fi
+}
+
 for app in "${APPS[@]}"; do
     for policy in "${POLICIES[@]}"; do
-        stem="${app}_${policy}"
-        "$BIN" run --app "$app" --policy "$policy" --functional \
-            --scale "$SCALE" --seed "$SEED" \
-            --trace-digest \
-            --interval-stats "$OUT/$stem.intervals.csv" \
-            --interval "$INTERVAL" \
-            | grep '^trace digest ' > "$OUT/$stem.digest"
-        if [[ "$CHECK" == 1 ]]; then
-            for f in "$stem.digest" "$stem.intervals.csv"; do
-                if ! cmp -s "$GOLDEN/$f" "$OUT/$f"; then
-                    echo "MISMATCH: $GOLDEN/$f" >&2
-                    diff -u "$GOLDEN/$f" "$OUT/$f" >&2 || true
-                    status=1
-                fi
-            done
-        fi
+        run_cell "${app}_${policy}" --app "$app" --policy "$policy"
     done
 done
+# One prefetcher-enabled cell: pins the density prefetcher's candidate
+# stream and HPE's cold placement of speculative arrivals.
+run_cell "KMN_HPE_density" --app KMN --policy HPE --prefetch density
 
+CELLS=$(( ${#APPS[@]} * ${#POLICIES[@]} + 1 ))
 if [[ "$CHECK" == 1 ]]; then
     if [[ "$status" == 0 ]]; then
-        echo "golden traces: all $(( ${#APPS[@]} * ${#POLICIES[@]} )) cells match"
+        echo "golden traces: all $CELLS cells match"
     else
         echo "golden traces diverged; if intentional, regenerate with" >&2
         echo "    ./tools/regen_golden.sh $BIN" >&2
