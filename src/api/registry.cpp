@@ -1,0 +1,133 @@
+#include "api/registry.hpp"
+
+#include <cctype>
+
+#include "common/log.hpp"
+
+namespace hpe::api {
+
+namespace {
+
+/** "a, b, c" join of a canonical-name list, for error messages. */
+std::string
+joined(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &n : names) {
+        if (!out.empty())
+            out += ", ";
+        out += n;
+    }
+    return out;
+}
+
+[[noreturn]] void
+unknown(const char *what, std::string_view name,
+        const std::vector<std::string> &valid)
+{
+    detail::die("error", unknownNameMessage(what, name, valid), false,
+                kUsageExitCode);
+}
+
+} // namespace
+
+std::string
+unknownNameMessage(const char *what, std::string_view name,
+                   const std::vector<std::string> &valid)
+{
+    return strformat("unknown {} '{}' (valid: {})", what, name,
+                     joined(valid));
+}
+
+std::string
+toLowerAscii(std::string_view name)
+{
+    std::string out(name);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::optional<PolicyKind>
+findPolicy(std::string_view name)
+{
+    const std::string key = toLowerAscii(name);
+    for (PolicyKind kind : extendedPolicyKinds())
+        if (key == toLowerAscii(policyKindName(kind)))
+            return kind;
+    return std::nullopt;
+}
+
+PolicyKind
+policyOrDie(std::string_view name)
+{
+    if (auto kind = findPolicy(name))
+        return *kind;
+    unknown("policy", name, policyNames());
+}
+
+std::vector<std::string>
+policyNames()
+{
+    std::vector<std::string> out;
+    for (PolicyKind kind : extendedPolicyKinds())
+        out.emplace_back(policyKindName(kind));
+    return out;
+}
+
+std::optional<prefetch::PrefetchKind>
+findPrefetchKind(std::string_view name)
+{
+    return prefetch::prefetchKindByName(toLowerAscii(name));
+}
+
+prefetch::PrefetchKind
+prefetchKindOrDie(std::string_view name)
+{
+    if (auto kind = findPrefetchKind(name))
+        return *kind;
+    unknown("prefetcher", name, prefetchNames());
+}
+
+std::vector<std::string>
+prefetchNames()
+{
+    std::vector<std::string> out;
+    for (prefetch::PrefetchKind kind : prefetch::allPrefetchKinds())
+        out.emplace_back(prefetch::prefetchKindName(kind));
+    return out;
+}
+
+const AppSpec *
+findApp(std::string_view abbr)
+{
+    const std::string key = toLowerAscii(abbr);
+    for (const AppSpec &spec : appSpecs())
+        if (key == toLowerAscii(spec.abbr))
+            return &spec;
+    for (const AppSpec &spec : extraAppSpecs())
+        if (key == toLowerAscii(spec.abbr))
+            return &spec;
+    return nullptr;
+}
+
+const AppSpec &
+appOrDie(std::string_view abbr)
+{
+    if (const AppSpec *spec = findApp(abbr))
+        return *spec;
+    unknown("application", abbr, appNames());
+}
+
+std::vector<std::string>
+appNames()
+{
+    std::vector<std::string> out;
+    for (const AppSpec &spec : appSpecs())
+        out.emplace_back(spec.abbr);
+    for (const AppSpec &spec : extraAppSpecs())
+        out.emplace_back(spec.abbr);
+    return out;
+}
+
+} // namespace hpe::api

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * One name registry for everything the CLI, the hpe::api façade, and the
+ * hpe_serve daemon look up by string: eviction policies, prefetcher
+ * kinds, and application workloads.
+ *
+ * Before this existed, each subcommand in src/cli/commands.cpp grew its
+ * own ad-hoc loop over policyKindName()/appSpecs() with its own error
+ * wording; the daemon would have been a fourth copy.  The registry gives
+ * every entry point the same three guarantees:
+ *
+ *  - lookups are **case-insensitive** ("hpe", "HPE" and "Hpe" all resolve
+ *    to the canonical "HPE"), so a request never dies on spelling case;
+ *  - unknown names fail through usageFatal() with the uniform message
+ *    "unknown <what> '<name>' (valid: a, b, c)" and the distinct
+ *    kUsageExitCode — never an assert or an uncaught exception;
+ *  - canonical spellings are enumerable (for `hpe_sim list` and the
+ *    request-normalization step that keeps fingerprints spelling-stable).
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+#include "sim/policy_factory.hpp"
+#include "workload/apps.hpp"
+
+namespace hpe::api {
+
+/** @p name lower-cased (ASCII); the registry's comparison key. */
+std::string toLowerAscii(std::string_view name);
+
+/**
+ * The uniform unknown-name message: "unknown <what> '<name>' (valid: a,
+ * b, c)".  The *OrDie lookups pass it to usageFatal(); the daemon embeds
+ * it in an error response instead of exiting.
+ */
+std::string unknownNameMessage(const char *what, std::string_view name,
+                               const std::vector<std::string> &valid);
+
+/** @{ Eviction policies (the extended set, canonical CLI spelling). */
+std::optional<PolicyKind> findPolicy(std::string_view name);
+PolicyKind policyOrDie(std::string_view name);
+std::vector<std::string> policyNames();
+/** @} */
+
+/** @{ Prefetcher kinds ("none", "sequential", "stride", "density"). */
+std::optional<prefetch::PrefetchKind> findPrefetchKind(std::string_view name);
+prefetch::PrefetchKind prefetchKindOrDie(std::string_view name);
+std::vector<std::string> prefetchNames();
+/** @} */
+
+/** @{ Application workloads (Table II + extras, canonical abbreviation). */
+const AppSpec *findApp(std::string_view abbr);
+const AppSpec &appOrDie(std::string_view abbr);
+std::vector<std::string> appNames();
+/** @} */
+
+} // namespace hpe::api

@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -7,9 +8,11 @@
 #include <string>
 #include <vector>
 
+#include "api/api.hpp"
+#include "api/registry.hpp"
 #include "common/table.hpp"
-#include "prefetch/prefetcher.hpp"
-#include "sim/experiment.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "sim/sweep.hpp"
 #include "trace/exporters.hpp"
 #include "workload/apps.hpp"
@@ -19,93 +22,85 @@ namespace hpe::cli {
 
 namespace {
 
-/** Resolve a policy name (case-sensitive, as printed by `list`). */
-PolicyKind
-policyByName(const std::string &name)
+/** Is @p s entirely decimal digits (the legacy --prefetch N spelling)? */
+bool
+allDigits(const std::string &s)
 {
-    for (PolicyKind kind : extendedPolicyKinds())
-        if (name == policyKindName(kind))
-            return kind;
-    fatal("unknown policy '{}' (try `hpe_sim list`)", name);
+    return !s.empty()
+           && s.find_first_not_of("0123456789") == std::string::npos;
 }
 
 /**
- * Apply the prefetch/batching options to @p cfg.  --prefetch takes a kind
- * name (none/sequential/stride/density); a bare number is the legacy
- * spelling and means a sequential prefetch of that degree, with exactly
- * the original driver semantics.
+ * Build the ExperimentRequest a command line denotes — the one funnel
+ * shared by `run`, `report`, `compare`, `sweep`, and `submit`, so every
+ * entry point resolves options (and therefore fingerprints) identically.
+ *
+ * Name lookups go through the hpe::api registry: case-insensitive, with
+ * unknown names exiting through usageFatal() (distinct exit code, uniform
+ * "unknown <what> '<name>' (valid: ...)" message).  The caller decides
+ * the interval/trace attachment fields, which are command-specific.
  */
-void
-applyPrefetchOptions(const Args &args, RunConfig &cfg)
+api::ExperimentRequest
+requestFromArgs(const Args &args)
 {
+    api::ExperimentRequest req;
+    req.app = args.get("app", "HSD");
+    req.scale = args.getDouble("scale", 1.0);
+    req.seed = args.getUint("seed", 1);
+    req.policy = args.get("policy", "HPE");
+    req.oversub = args.getDouble("oversub", 0.75);
+    req.functional = args.has("functional");
+    req.walkLatency =
+        static_cast<unsigned>(args.getUint("walk-latency", 8));
+    req.multiLevelWalker = args.has("multi-level-walker");
+
     if (args.has("prefetch")) {
-        const std::string val = args.get("prefetch", "none");
-        if (auto kind = prefetch::prefetchKindByName(val))
-            cfg.gpu.driver.prefetch.kind = *kind;
-        else if (!val.empty()
-                 && val.find_first_not_of("0123456789") == std::string::npos)
-            cfg.gpu.driver.prefetchDegree =
-                static_cast<unsigned>(args.getUint("prefetch", 0));
-        else
-            fatal("unknown prefetcher '{}' (none, sequential, stride, "
-                  "density, or a sequential degree)",
-                  val);
+        req.prefetch = args.get("prefetch", "none");
+        // Deprecated numeric spelling: still honoured (normalize() folds
+        // it onto the canonical form), but steer users to the named one.
+        if (allDigits(req.prefetch))
+            warn("--prefetch {} is deprecated; use --prefetch sequential "
+                 "--prefetch-degree {}",
+                 req.prefetch, req.prefetch);
     }
-    if (args.has("prefetch-degree"))
-        cfg.gpu.driver.prefetch.degree =
-            static_cast<unsigned>(args.getUint("prefetch-degree", 4));
+    req.prefetchDegree =
+        static_cast<unsigned>(args.getUint("prefetch-degree", 4));
     if (args.has("fault-batch")) {
         const auto batch = args.getUint("fault-batch", 1);
         if (batch == 0)
             fatal("--fault-batch must be at least 1");
-        cfg.gpu.driver.batchSize = static_cast<unsigned>(batch);
+        req.faultBatch = static_cast<unsigned>(batch);
     }
-}
-
-/** Common workload/config options for run/compare/trace. */
-struct CommonOptions
-{
-    Trace trace;
-    RunConfig cfg;
-};
-
-CommonOptions
-commonOptions(const Args &args)
-{
-    const std::string app = args.get("app", "HSD");
-    const double scale = args.getDouble("scale", 1.0);
-    const std::uint64_t seed = args.getUint("seed", 1);
-    CommonOptions opt{buildApp(app, scale, seed), RunConfig{}};
-    opt.cfg.oversub = args.getDouble("oversub", 0.75);
-    opt.cfg.seed = seed;
-    if (args.has("walk-latency"))
-        opt.cfg.gpu.walkLatency = args.getUint("walk-latency", 8);
-    applyPrefetchOptions(args, opt.cfg);
-    if (args.has("multi-level-walker"))
-        opt.cfg.gpu.walkerMode = WalkerMode::MultiLevel;
 
     // Chaos mode: any --chaos-* option arms the injector; --chaos-seed
     // alone replays the default event mix under a chosen seed.
-    ChaosConfig &chaos = opt.cfg.gpu.chaos;
-    chaos.enabled = args.has("chaos-seed") || args.has("chaos-pcie-fail")
-                    || args.has("chaos-pcie-stall")
-                    || args.has("chaos-service-timeout")
-                    || args.has("chaos-shootdown-drop")
-                    || args.has("chaos-walk-error");
-    if (chaos.enabled) {
-        chaos.seed = args.getUint("chaos-seed", seed);
-        chaos.pcieFailProb = args.getDouble("chaos-pcie-fail", 0.0);
-        chaos.pcieStallProb = args.getDouble("chaos-pcie-stall", 0.0);
-        chaos.serviceTimeoutProb = args.getDouble("chaos-service-timeout", 0.0);
-        chaos.shootdownDropProb = args.getDouble("chaos-shootdown-drop", 0.0);
-        chaos.walkErrorProb = args.getDouble("chaos-walk-error", 0.0);
-        chaos.validate();
+    req.chaos.enabled =
+        args.has("chaos-seed") || args.has("chaos-pcie-fail")
+        || args.has("chaos-pcie-stall") || args.has("chaos-service-timeout")
+        || args.has("chaos-shootdown-drop") || args.has("chaos-walk-error");
+    if (req.chaos.enabled) {
+        req.chaos.seed = args.getUint("chaos-seed", req.seed);
+        req.chaos.pcieFail = args.getDouble("chaos-pcie-fail", 0.0);
+        req.chaos.pcieStall = args.getDouble("chaos-pcie-stall", 0.0);
+        req.chaos.serviceTimeout =
+            args.getDouble("chaos-service-timeout", 0.0);
+        req.chaos.shootdownDrop =
+            args.getDouble("chaos-shootdown-drop", 0.0);
+        req.chaos.walkError = args.getDouble("chaos-walk-error", 0.0);
     }
-    if (args.has("degrade"))
-        opt.cfg.gpu.degradation.enabled = true;
-    if (args.has("validate"))
-        opt.cfg.gpu.validate = true;
-    return opt;
+    req.degrade = args.has("degrade");
+    req.validate = args.has("validate");
+
+    req.traceDigest = args.has("trace-digest");
+    req.traceEvents = args.get("trace-events", "all");
+    req.traceRing =
+        static_cast<std::size_t>(args.getUint("trace-ring", 1u << 16));
+    if (req.traceRing == 0)
+        fatal("--trace-ring must be positive");
+    req.stats = args.has("stats");
+
+    req.normalize();
+    return req;
 }
 
 /** The chaos/resilience options shared by run and compare. */
@@ -120,6 +115,19 @@ std::vector<std::string>
 withChaosOptions(std::vector<std::string> base)
 {
     base.insert(base.end(), kChaosOptions.begin(), kChaosOptions.end());
+    return base;
+}
+
+/** The trace/interval options shared by run and submit. */
+const std::vector<std::string> kTraceOptions = {
+    "trace", "trace-chrome", "trace-events", "trace-ring", "trace-digest",
+    "interval-stats", "interval",
+};
+
+std::vector<std::string>
+withTraceOptions(std::vector<std::string> base)
+{
+    base.insert(base.end(), kTraceOptions.begin(), kTraceOptions.end());
     return base;
 }
 
@@ -141,60 +149,6 @@ writeOutput(const std::string &path, std::ostream &os,
     emit(file);
 }
 
-/** Observability attachments requested on the command line. */
-struct CliTrace
-{
-    std::unique_ptr<trace::TraceSink> sink;
-    std::unique_ptr<trace::IntervalRecorder> intervals;
-    TraceAttachments attach;
-};
-
-/**
- * Build the sink/recorder a command's trace options ask for.  The sink is
- * constructed when any consumer of events is requested (--trace,
- * --trace-chrome, --trace-digest); the recorder when --interval-stats is.
- */
-CliTrace
-cliTraceOptions(const Args &args)
-{
-    CliTrace t;
-    if (args.has("trace") || args.has("trace-chrome")
-        || args.has("trace-digest")) {
-        trace::TraceSink::Config cfg;
-        cfg.mask = trace::parseEventMask(args.get("trace-events", "all"));
-        cfg.ringCapacity =
-            static_cast<std::size_t>(args.getUint("trace-ring", 1u << 16));
-        if (cfg.ringCapacity == 0)
-            fatal("--trace-ring must be positive");
-        t.sink = std::make_unique<trace::TraceSink>(cfg);
-        t.attach.sink = t.sink.get();
-    } else if (args.has("trace-events") || args.has("trace-ring")) {
-        fatal("--trace-events/--trace-ring need --trace, --trace-chrome, "
-              "or --trace-digest");
-    }
-    if (args.has("interval-stats")) {
-        t.intervals = std::make_unique<trace::IntervalRecorder>(
-            args.getUint("interval", 1000));
-        t.attach.intervals = t.intervals.get();
-    } else if (args.has("interval")) {
-        fatal("--interval needs --interval-stats (or use the report command)");
-    }
-    return t;
-}
-
-/** The trace/interval options shared by run and report. */
-const std::vector<std::string> kTraceOptions = {
-    "trace", "trace-chrome", "trace-events", "trace-ring", "trace-digest",
-    "interval-stats", "interval",
-};
-
-std::vector<std::string>
-withTraceOptions(std::vector<std::string> base)
-{
-    base.insert(base.end(), kTraceOptions.begin(), kTraceOptions.end());
-    return base;
-}
-
 } // namespace
 
 int
@@ -204,56 +158,60 @@ runCommand(const Args &args, std::ostream &os)
         {"app", "policy", "oversub", "scale", "seed", "functional", "csv",
          "stats", "walk-latency", "prefetch", "prefetch-degree",
          "fault-batch", "multi-level-walker"})));
-    const auto opt = commonOptions(args);
-    const PolicyKind kind = policyByName(args.get("policy", "HPE"));
-    const bool functional = args.has("functional");
+    api::ExperimentRequest req = requestFromArgs(args);
 
-    CliTrace tracing = cliTraceOptions(args);
-    InspectableRun run = functional
-        ? runFunctionalInspect(opt.trace, kind, opt.cfg, tracing.attach)
-        : runTimingInspect(opt.trace, kind, opt.cfg, tracing.attach);
+    const bool exportEvents = args.has("trace") || args.has("trace-chrome");
+    if (!exportEvents && !req.traceDigest
+        && (args.has("trace-events") || args.has("trace-ring")))
+        fatal("--trace-events/--trace-ring need --trace, --trace-chrome, "
+              "or --trace-digest");
+    if (args.has("interval-stats"))
+        req.interval = args.getUint("interval", 1000);
+    else if (args.has("interval"))
+        fatal("--interval needs --interval-stats (or use the report command)");
+
+    api::ExperimentArtifacts artifacts;
+    const api::ExperimentResult result =
+        api::runExperimentInspect(req, artifacts, nullptr, exportEvents);
 
     if (args.has("trace"))
         writeOutput(args.get("trace"), os, [&](std::ostream &o) {
-            trace::writeJsonl(*tracing.sink, o);
+            trace::writeJsonl(*artifacts.sink, o);
         });
     if (args.has("trace-chrome"))
         writeOutput(args.get("trace-chrome"), os, [&](std::ostream &o) {
-            trace::writeChromeTrace(*tracing.sink, o);
+            trace::writeChromeTrace(*artifacts.sink, o);
         });
-    if (args.has("trace-digest"))
-        os << "trace digest " << tracing.sink->digestHexString() << " ("
-           << tracing.sink->emitted() << " events)\n";
-    if (tracing.intervals != nullptr)
-        writeOutput(args.get("interval-stats"), os, [&](std::ostream &o) {
-            tracing.intervals->writeCsv(o);
-        });
+    if (req.traceDigest)
+        os << "trace digest " << result.traceDigest << " ("
+           << result.traceEvents << " events)\n";
+    if (artifacts.intervals != nullptr)
+        writeOutput(args.get("interval-stats"), os,
+                    [&](std::ostream &o) { o << result.intervalsCsv; });
 
     if (args.has("csv")) {
         os << "app,policy,mode,oversub,faults,evictions,ipc\n"
-           << opt.trace.abbr() << "," << policyKindName(kind) << ","
-           << (functional ? "functional" : "timing") << "," << opt.cfg.oversub
-           << ","
-           << (functional ? run.paging.faults : run.timing.faults) << ","
-           << (functional ? run.paging.evictions : run.timing.evictions)
-           << "," << (functional ? 0.0 : run.timing.ipc) << "\n";
+           << req.app << "," << req.policy << ","
+           << (req.functional ? "functional" : "timing") << "," << req.oversub
+           << "," << result.faults << "," << result.evictions << ","
+           << result.ipc << "\n";
     } else {
-        os << opt.trace.abbr() << " under " << policyKindName(kind) << " ("
-           << (functional ? "functional" : "timing") << ", "
-           << opt.cfg.oversub * 100 << "% oversubscription)\n";
-        if (functional) {
-            os << "  faults " << run.paging.faults << ", evictions "
-               << run.paging.evictions << ", fault rate "
-               << TextTable::num(run.paging.faultRate(), 3) << "\n";
+        os << req.app << " under " << req.policy << " ("
+           << (req.functional ? "functional" : "timing") << ", "
+           << req.oversub * 100 << "% oversubscription)\n";
+        if (req.functional) {
+            os << "  faults " << result.faults << ", evictions "
+               << result.evictions << ", fault rate "
+               << TextTable::num(result.faultRate, 3) << "\n";
         } else {
-            os << "  faults " << run.timing.faults << ", evictions "
-               << run.timing.evictions << ", IPC "
-               << TextTable::num(run.timing.ipc, 4) << ", host load "
-               << TextTable::num(run.timing.hostLoad * 100, 1) << "%\n";
+            os << "  faults " << result.faults << ", evictions "
+               << result.evictions << ", IPC "
+               << TextTable::num(result.ipc, 4) << ", host load "
+               << TextTable::num(result.hostLoad * 100, 1) << "%\n";
         }
     }
-    if (args.has("stats"))
-        run.stats->dumpCsv(os);
+    if (req.stats)
+        os << result.statsCsv;
     return 0;
 }
 
@@ -263,21 +221,29 @@ compareCommand(const Args &args, std::ostream &os)
     args.allowOnly(withChaosOptions(
         {"app", "oversub", "scale", "seed", "extended", "csv", "jobs",
          "prefetch", "prefetch-degree", "fault-batch"}));
-    const auto opt = commonOptions(args);
+    const api::ExperimentRequest base = requestFromArgs(args);
     const auto &kinds =
         args.has("extended") ? extendedPolicyKinds() : allPolicyKinds();
+
+    const Trace trace = buildApp(base.app, base.scale, base.seed);
 
     // One job per policy; collection by policy index keeps the table
     // byte-identical for every --jobs value.
     struct Row
     {
-        PagingResult functional;
-        TimingResult timing;
+        api::ExperimentResult functional;
+        api::ExperimentResult timing;
     };
     SweepRunner runner(static_cast<unsigned>(args.getUint("jobs", 0)));
     const auto rows = runner.map(kinds.size(), [&](std::size_t i) {
-        return Row{runFunctional(opt.trace, kinds[i], opt.cfg),
-                   runTiming(opt.trace, kinds[i], opt.cfg)};
+        api::ExperimentRequest cell = base;
+        cell.policy = policyKindName(kinds[i]);
+        cell.functional = true;
+        Row row;
+        row.functional = api::runExperiment(cell, &trace);
+        cell.functional = false;
+        row.timing = api::runExperiment(cell, &trace);
+        return row;
     });
 
     if (args.has("csv"))
@@ -308,25 +274,21 @@ reportCommand(const Args &args, std::ostream &os)
         {"app", "policy", "oversub", "scale", "seed", "functional",
          "interval", "csv", "walk-latency", "prefetch", "prefetch-degree",
          "fault-batch", "multi-level-walker"}));
-    const auto opt = commonOptions(args);
-    const PolicyKind kind = policyByName(args.get("policy", "HPE"));
-    const bool functional = args.has("functional");
+    api::ExperimentRequest req = requestFromArgs(args);
+    req.interval = args.getUint("interval", 1000);
 
-    trace::IntervalRecorder rec(args.getUint("interval", 1000));
-    TraceAttachments attach;
-    attach.intervals = &rec;
-    if (functional)
-        runFunctionalInspect(opt.trace, kind, opt.cfg, attach);
-    else
-        runTimingInspect(opt.trace, kind, opt.cfg, attach);
+    api::ExperimentArtifacts artifacts;
+    const api::ExperimentResult result =
+        api::runExperimentInspect(req, artifacts);
+    const trace::IntervalRecorder &rec = *artifacts.intervals;
 
     if (args.has("csv")) {
-        rec.writeCsv(os);
+        os << result.intervalsCsv;
         return 0;
     }
-    os << opt.trace.abbr() << " under " << policyKindName(kind) << " ("
-       << (functional ? "functional" : "timing") << ", "
-       << opt.cfg.oversub * 100 << "% oversubscription, interval "
+    os << req.app << " under " << req.policy << " ("
+       << (req.functional ? "functional" : "timing") << ", "
+       << req.oversub * 100 << "% oversubscription, interval "
        << rec.intervalLength() << " refs)\n";
     std::vector<std::string> header = {"interval", "refs"};
     for (const std::string &col : rec.columns())
@@ -350,13 +312,9 @@ sweepCommand(const Args &args, std::ostream &os)
     args.allowOnly({"oversub", "scale", "seed", "extended", "csv",
                     "functional", "jobs", "trace-digests", "prefetch",
                     "prefetch-degree", "fault-batch"});
-    const double scale = args.getDouble("scale", 1.0);
-    const std::uint64_t seed = args.getUint("seed", 1);
-    const bool functional = args.has("functional");
-    RunConfig cfg;
-    cfg.oversub = args.getDouble("oversub", 0.75);
-    cfg.seed = seed;
-    applyPrefetchOptions(args, cfg);
+    api::ExperimentRequest base = requestFromArgs(args);
+    const bool digests = args.has("trace-digests");
+    base.traceDigest = digests;
     const auto &kinds =
         args.has("extended") ? extendedPolicyKinds() : allPolicyKinds();
 
@@ -366,22 +324,20 @@ sweepCommand(const Args &args, std::ostream &os)
 
     SweepRunner runner(static_cast<unsigned>(args.getUint("jobs", 0)));
     // Traces are built once, in parallel, then shared read-only by the
-    // (app x policy) jobs.
-    const auto traces = runner.mapItems(
-        apps, [&](const std::string &abbr) { return buildApp(abbr, scale, seed); });
+    // (app x policy) cells — the same sharing `prebuilt` gives the daemon.
+    const auto traces = runner.mapItems(apps, [&](const std::string &abbr) {
+        return buildApp(abbr, base.scale, base.seed);
+    });
 
-    const bool digests = args.has("trace-digests");
-    SweepTraceConfig trace_cfg;
-    trace_cfg.enabled = digests;
+    const auto outcomes =
+        runner.map(apps.size() * kinds.size(), [&](std::size_t i) {
+            api::ExperimentRequest cell = base;
+            cell.app = apps[i / kinds.size()];
+            cell.policy = policyKindName(kinds[i % kinds.size()]);
+            return api::runExperiment(cell, &traces[i / kinds.size()]);
+        });
 
-    std::vector<SweepJob> jobs;
-    jobs.reserve(apps.size() * kinds.size());
-    for (const Trace &trace : traces)
-        for (PolicyKind kind : kinds)
-            jobs.push_back(SweepJob{&trace, kind, cfg, functional, trace_cfg});
-    const auto outcomes = runner.run(jobs);
-
-    // Serial reduction in job order: output is independent of --jobs.
+    // Serial reduction in cell order: output is independent of --jobs.
     if (args.has("csv")) {
         os << "app,policy,oversub,faults,evictions,ipc";
         if (digests)
@@ -394,30 +350,26 @@ sweepCommand(const Args &args, std::ostream &os)
         header.push_back("trace digest");
     TextTable t(header);
     std::vector<std::uint64_t> jobDigests;
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const std::string &app = apps[i / kinds.size()];
         const PolicyKind kind = kinds[i % kinds.size()];
-        const std::uint64_t faults = functional ? outcomes[i].paging.faults
-                                                : outcomes[i].timing.faults;
-        const std::uint64_t evictions = functional
-            ? outcomes[i].paging.evictions
-            : outcomes[i].timing.evictions;
-        const double ipc = functional ? 0.0 : outcomes[i].timing.ipc;
+        const api::ExperimentResult &res = outcomes[i];
         if (digests)
-            jobDigests.push_back(outcomes[i].traceDigest);
+            jobDigests.push_back(
+                std::strtoull(res.traceDigest.c_str(), nullptr, 16));
         if (args.has("csv")) {
-            os << app << "," << policyKindName(kind) << "," << cfg.oversub
-               << "," << faults << "," << evictions << "," << ipc;
+            os << app << "," << policyKindName(kind) << "," << base.oversub
+               << "," << res.faults << "," << res.evictions << "," << res.ipc;
             if (digests)
-                os << "," << trace::digestHex(outcomes[i].traceDigest);
+                os << "," << res.traceDigest;
             os << "\n";
         } else {
             std::vector<std::string> row = {
-                app, policyKindName(kind), std::to_string(faults),
-                std::to_string(evictions),
-                functional ? "-" : TextTable::num(ipc, 4)};
+                app, policyKindName(kind), std::to_string(res.faults),
+                std::to_string(res.evictions),
+                base.functional ? "-" : TextTable::num(res.ipc, 4)};
             if (digests)
-                row.push_back(trace::digestHex(outcomes[i].traceDigest));
+                row.push_back(res.traceDigest);
             t.addRow(row);
         }
     }
@@ -434,14 +386,15 @@ int
 traceCommand(const Args &args, std::ostream &os)
 {
     args.allowOnly({"app", "scale", "seed", "out"});
-    const auto opt = commonOptions(args);
+    const AppSpec &spec = api::appOrDie(args.get("app", "HSD"));
+    const Trace trace = buildApp(spec.abbr, args.getDouble("scale", 1.0),
+                                 args.getUint("seed", 1));
     const std::string out = args.get("out");
     if (out.empty())
         fatal("trace requires --out FILE");
-    saveTraceFile(opt.trace, out);
-    os << "wrote " << opt.trace.size() << " visits ("
-       << opt.trace.footprintPages() << " pages, " << opt.trace.kernelCount()
-       << " kernels) to " << out << "\n";
+    saveTraceFile(trace, out);
+    os << "wrote " << trace.size() << " visits (" << trace.footprintPages()
+       << " pages, " << trace.kernelCount() << " kernels) to " << out << "\n";
     return 0;
 }
 
@@ -456,10 +409,83 @@ listCommand(const Args &args, std::ostream &os)
     for (const AppSpec &spec : extraAppSpecs())
         os << " " << spec.abbr;
     os << "\npolicies:";
-    for (PolicyKind kind : extendedPolicyKinds())
-        os << " " << policyKindName(kind);
+    for (const std::string &name : api::policyNames())
+        os << " " << name;
+    os << "\nprefetchers:";
+    for (const std::string &name : api::prefetchNames())
+        os << " " << name;
     os << "\n";
     return 0;
+}
+
+int
+serveCommand(const Args &args, std::ostream &os)
+{
+    args.allowOnly(
+        {"socket", "jobs", "max-queue", "cache-capacity", "deadline-ms"});
+    serve::ServeConfig cfg;
+    cfg.socketPath = args.get("socket");
+    if (cfg.socketPath.empty())
+        fatal("serve requires --socket PATH");
+    cfg.jobs = static_cast<unsigned>(args.getUint("jobs", 0));
+    cfg.maxQueue = args.getUint("max-queue", 64);
+    cfg.cacheCapacity = args.getUint("cache-capacity", 1024);
+    cfg.defaultDeadlineMs = args.getUint("deadline-ms", 0);
+    if (cfg.maxQueue == 0)
+        fatal("--max-queue must be at least 1");
+    if (cfg.cacheCapacity == 0)
+        fatal("--cache-capacity must be at least 1");
+
+    serve::Server server(cfg);
+    serve::Server::installSignalHandlers(&server);
+    std::string error;
+    if (!server.start(error))
+        fatal("{}", error);
+    inform("hpe_serve listening on {} ({} jobs, queue {}, cache {})",
+           cfg.socketPath, server.jobs(), cfg.maxQueue, cfg.cacheCapacity);
+    server.wait();
+    inform("hpe_serve draining");
+    server.stop();
+    os << "hpe_serve stopped\n";
+    return 0;
+}
+
+int
+submitCommand(const Args &args, std::ostream &os)
+{
+    args.allowOnly(withChaosOptions(
+        {"socket", "type", "deadline-ms", "id", "app", "policy", "oversub",
+         "scale", "seed", "functional", "stats", "walk-latency", "prefetch",
+         "prefetch-degree", "fault-batch", "multi-level-walker",
+         "trace-digest", "trace-events", "trace-ring", "interval"}));
+    const std::string socket = args.get("socket");
+    if (socket.empty())
+        fatal("submit requires --socket PATH");
+
+    const std::string type = args.get("type", "run");
+    api::json::Object envelope{{"type", type}};
+    if (args.has("id"))
+        envelope.emplace("id", args.get("id"));
+    if (args.has("deadline-ms"))
+        envelope.emplace("deadline_ms", args.getUint("deadline-ms", 0));
+    if (type == "run") {
+        api::ExperimentRequest req = requestFromArgs(args);
+        req.interval = args.getUint("interval", 0);
+        envelope.emplace("request", req.toJson());
+    }
+
+    std::string response, error;
+    if (!serve::submitLine(socket, api::json::Value(std::move(envelope)).dump(),
+                           response, error))
+        fatal("{}", error);
+    os << response << "\n";
+
+    api::json::ParseError perr;
+    const auto parsed = api::json::parse(response, &perr);
+    if (!parsed.has_value() || !parsed->isObject())
+        fatal("malformed response from daemon: {}", response);
+    const api::json::Value *ok = parsed->find("ok");
+    return ok != nullptr && ok->isBool() && ok->asBool() ? 0 : 1;
 }
 
 void
@@ -474,7 +500,7 @@ printUsage(std::ostream &os)
           "           --app HSD --policy HPE --oversub 0.75 [--functional]\n"
           "           [--scale 1.0] [--seed 1] [--csv] [--stats]\n"
           "           [--walk-latency 8] [--multi-level-walker]\n"
-          "           [--prefetch none|sequential|stride|density|N]\n"
+          "           [--prefetch none|sequential|stride|density]\n"
           "           [--prefetch-degree N] [--fault-batch N]\n"
           "           [--validate] [--degrade] [--chaos-seed N]\n"
           "           [--chaos-pcie-fail P] [--chaos-pcie-stall P]\n"
@@ -496,7 +522,18 @@ printUsage(std::ostream &os)
           "           [--csv] [chaos options as for run]\n"
           "  trace    write an application's page-visit trace to a file\n"
           "           --app HSD --out hsd.trace\n"
-          "  list     available applications and policies\n"
+          "  serve    experiment-serving daemon on a Unix socket (docs/api.md)\n"
+          "           --socket PATH [--jobs N] [--max-queue 64]\n"
+          "           [--cache-capacity 1024] [--deadline-ms N]\n"
+          "  submit   send one request to a running daemon, print the response\n"
+          "           --socket PATH [run options] [--trace-digest] [--interval N]\n"
+          "           [--type run|stats|ping|shutdown] [--deadline-ms N]\n"
+          "           [--id TAG]\n"
+          "  list     available applications, policies, and prefetchers\n"
+          "\n"
+          "names (apps, policies, prefetchers) are case-insensitive; `list`\n"
+          "prints the canonical spellings.  --prefetch N (numeric) is\n"
+          "deprecated: use --prefetch sequential --prefetch-degree N.\n"
           "\n"
           "--trace writes JSONL events (one per line + digest summary);\n"
           "--trace-chrome writes the Chrome about://tracing format; a FILE\n"
@@ -521,6 +558,10 @@ dispatch(const Args &args, std::ostream &os)
         return reportCommand(args, os);
     if (args.command() == "trace")
         return traceCommand(args, os);
+    if (args.command() == "serve")
+        return serveCommand(args, os);
+    if (args.command() == "submit")
+        return submitCommand(args, os);
     if (args.command() == "list")
         return listCommand(args, os);
     printUsage(os);

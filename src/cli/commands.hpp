@@ -27,6 +27,12 @@ int reportCommand(const Args &args, std::ostream &os);
 /** `hpe_sim trace`: write an application's trace to a file. */
 int traceCommand(const Args &args, std::ostream &os);
 
+/** `hpe_sim serve`: experiment-serving daemon on a Unix socket. */
+int serveCommand(const Args &args, std::ostream &os);
+
+/** `hpe_sim submit`: send one request to a running daemon. */
+int submitCommand(const Args &args, std::ostream &os);
+
 /** `hpe_sim list`: applications and policies. */
 int listCommand(const Args &args, std::ostream &os);
 

@@ -23,15 +23,21 @@ namespace hpe {
 namespace detail {
 
 [[noreturn]] inline void
-die(const char *kind, std::string_view msg, bool abort_process)
+die(const char *kind, std::string_view msg, bool abort_process,
+    int exit_code = 1)
 {
     std::fprintf(stderr, "%s: %.*s\n", kind, static_cast<int>(msg.size()), msg.data());
     if (abort_process)
         std::abort();
-    std::exit(1);
+    std::exit(exit_code);
 }
 
 } // namespace detail
+
+/** Exit code of usageFatal(): distinguishes "you asked for something that
+ *  does not exist" (a fixable command line) from fatal()'s generic
+ *  configuration error, so scripts can tell the two apart. */
+inline constexpr int kUsageExitCode = 2;
 
 /** Report an unrecoverable user/configuration error and exit(1). */
 template <typename... Args>
@@ -39,6 +45,19 @@ template <typename... Args>
 fatal(std::string_view fmt, Args &&...args)
 {
     detail::die("fatal", strformat(fmt, std::forward<Args>(args)...), false);
+}
+
+/**
+ * Report an unknown-name / bad-usage error and exit(kUsageExitCode).
+ * Used by the hpe::api name registry so `hpe_sim run --policy nope`
+ * fails with a distinct code and a clean message (never an assert).
+ */
+template <typename... Args>
+[[noreturn]] void
+usageFatal(std::string_view fmt, Args &&...args)
+{
+    detail::die("error", strformat(fmt, std::forward<Args>(args)...), false,
+                kUsageExitCode);
 }
 
 /** Report a violated internal invariant (simulator bug) and abort(). */

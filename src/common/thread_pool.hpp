@@ -33,6 +33,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -119,6 +120,36 @@ class ThreadPool
             std::rethrow_exception(batch.error);
     }
 
+    /**
+     * Enqueue one task for asynchronous execution on the pool — the
+     * daemon's scheduling primitive, complementing the batch-oriented
+     * parallelFor().  Tasks and batches share the same workers: a batch
+     * published while a worker runs a long task completes only after
+     * that worker drains it, so long tasks delay concurrent batch
+     * completion (the daemon never mixes the two).
+     *
+     * On a single-thread pool the task runs inline on the calling
+     * thread before post() returns — same execution, no queue.
+     *
+     * Tasks must not throw; an escaping exception is caught and
+     * reported via warn() (there is no caller left to rethrow to).
+     * Tasks still queued when the pool is destroyed are dropped —
+     * owners drain their work before tearing the pool down.
+     */
+    void
+    post(std::function<void()> task)
+    {
+        if (workers_.empty()) {
+            runTask(task);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            tasks_.push_back(std::move(task));
+        }
+        wake_.notify_one();
+    }
+
   private:
     /** One parallelFor invocation's shared state. */
     struct Batch
@@ -188,27 +219,54 @@ class ThreadPool
         }
     }
 
+    /** Run a posted task, containing any escaping exception. */
+    static void
+    runTask(const std::function<void()> &task)
+    {
+        try {
+            task();
+        } catch (const std::exception &e) {
+            warn("posted task threw: {}", e.what());
+        } catch (...) {
+            warn("posted task threw a non-std exception");
+        }
+    }
+
     void
     workerLoop()
     {
         std::uint64_t seen = 0;
         for (;;) {
             Batch *batch = nullptr;
+            std::function<void()> task;
             {
                 std::unique_lock<std::mutex> lock(mutex_);
-                wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+                wake_.wait(lock, [&] {
+                    return stop_ || generation_ != seen || !tasks_.empty();
+                });
                 if (stop_)
                     return;
-                seen = generation_;
-                batch = current_;
+                if (generation_ != seen) {
+                    // Batches take precedence: parallelFor() blocks its
+                    // caller, posted tasks have nobody waiting inline.
+                    seen = generation_;
+                    batch = current_;
+                } else {
+                    task = std::move(tasks_.front());
+                    tasks_.pop_front();
+                }
             }
-            insideBatch() = true;
-            runShare(*batch);
-            insideBatch() = false;
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                if (--unfinished_ == 0)
-                    done_.notify_all();
+            if (batch != nullptr) {
+                insideBatch() = true;
+                runShare(*batch);
+                insideBatch() = false;
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (--unfinished_ == 0)
+                        done_.notify_all();
+                }
+            } else {
+                runTask(task);
             }
         }
     }
@@ -222,6 +280,7 @@ class ThreadPool
     std::uint64_t generation_ = 0;
     unsigned unfinished_ = 0;
     Batch *current_ = nullptr;
+    std::deque<std::function<void()>> tasks_;
     bool stop_ = false;
 };
 

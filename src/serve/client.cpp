@@ -1,0 +1,82 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/log.hpp"
+
+namespace hpe::serve {
+
+bool
+submitLine(const std::string &socketPath, const std::string &requestLine,
+           std::string &response, std::string &error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path)) {
+        error = strformat("socket path '{}' exceeds {} bytes", socketPath,
+                          sizeof(addr.sun_path) - 1);
+        return false;
+    }
+    std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        error = strformat("socket(): {}", std::strerror(errno));
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = strformat("connect('{}'): {} (is hpe_serve running?)",
+                          socketPath, std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+
+    std::string line = requestLine;
+    line += '\n';
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            error = strformat("send(): {}", std::strerror(errno));
+            ::close(fd);
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+
+    response.clear();
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0) {
+            error = strformat("recv(): {}", std::strerror(errno));
+            ::close(fd);
+            return false;
+        }
+        if (n == 0) {
+            error = "connection closed before a response arrived";
+            ::close(fd);
+            return false;
+        }
+        response.append(chunk, static_cast<std::size_t>(n));
+        if (const std::size_t newline = response.find('\n');
+            newline != std::string::npos) {
+            response.resize(newline);
+            ::close(fd);
+            return true;
+        }
+    }
+}
+
+} // namespace hpe::serve

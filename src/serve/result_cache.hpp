@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Content-addressed result cache with in-flight coalescing — the memory
+ * of the hpe_serve daemon.
+ *
+ * Keys are ExperimentRequest fingerprints (canonical-JSON FNV-1a), so
+ * the cache is *content*-addressed: any two requests that mean the same
+ * experiment — regardless of spelling, field order, or which client sent
+ * them — share one slot.  Because simulations are deterministic, a
+ * completed slot can answer forever and a repeat query is O(1).
+ *
+ * The acquire() protocol also coalesces concurrent duplicates: the first
+ * acquirer of a fingerprint is told to Compute, every later acquirer of
+ * the same fingerprint while that computation runs is told to Wait on
+ * the same entry, and acquirers after completion Hit.  One computation,
+ * many answers.
+ *
+ * Admission control lives here too: a Compute acquisition is Rejected
+ * when the pending-entry count (computations queued or running) has
+ * reached the configured bound — the daemon's backpressure signal.
+ * Hits and Waits never consume a pending slot, so a saturated daemon
+ * still answers everything it has already computed.
+ *
+ * Completed entries are retained up to a capacity; the oldest completed
+ * entry is evicted first (pending entries are never evicted — waiters
+ * hold references to them).  All methods are thread-safe.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace hpe::serve {
+
+/** Thread-safe fingerprint -> response-payload cache; see file comment. */
+class ResultCache
+{
+  public:
+    /** One cached (or in-flight) computation. */
+    struct Entry
+    {
+        bool done = false;
+        /** Response payload (a serialized JSON result or error object). */
+        std::string payload;
+        /** Did the computation fail?  (Failed entries are cached too —
+         *  deterministic experiments fail deterministically.) */
+        bool failed = false;
+    };
+
+    using EntryPtr = std::shared_ptr<Entry>;
+
+    /** What acquire() told the caller to do. */
+    enum class Role {
+        Compute,  ///< caller owns the computation; complete() when done
+        Wait,     ///< identical request in flight; wait() for it
+        Hit,      ///< entry->payload is ready now
+        Rejected, ///< pending bound reached; tell the client to retry
+    };
+
+    struct Acquisition
+    {
+        Role role;
+        EntryPtr entry; ///< null only when Rejected
+    };
+
+    /**
+     * @param capacity      completed entries retained (oldest evicted).
+     * @param maxPending    bound on computations queued or running.
+     */
+    ResultCache(std::size_t capacity, std::size_t maxPending)
+        : capacity_(capacity), maxPending_(maxPending)
+    {}
+
+    /** Look up @p fingerprint and claim a role; see file comment. */
+    Acquisition
+    acquire(const std::string &fingerprint)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (auto it = entries_.find(fingerprint); it != entries_.end()) {
+            if (it->second->done) {
+                ++hits_;
+                return {Role::Hit, it->second};
+            }
+            ++coalesced_;
+            return {Role::Wait, it->second};
+        }
+        if (pending_ >= maxPending_) {
+            ++rejected_;
+            return {Role::Rejected, nullptr};
+        }
+        ++misses_;
+        ++pending_;
+        auto entry = std::make_shared<Entry>();
+        entries_.emplace(fingerprint, entry);
+        insertionOrder_.push_back(fingerprint);
+        return {Role::Compute, entry};
+    }
+
+    /** Publish the result of a Compute acquisition and wake waiters. */
+    void
+    complete(const EntryPtr &entry, std::string payload, bool failed = false)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            entry->payload = std::move(payload);
+            entry->failed = failed;
+            entry->done = true;
+            --pending_;
+            evictOverflow();
+        }
+        ready_.notify_all();
+    }
+
+    /**
+     * Block until @p entry completes or @p deadline passes (nullopt =
+     * wait forever).  @return true when the entry is done.
+     */
+    bool
+    wait(const EntryPtr &entry,
+         std::optional<std::chrono::steady_clock::time_point> deadline)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!deadline.has_value()) {
+            ready_.wait(lock, [&] { return entry->done; });
+            return true;
+        }
+        return ready_.wait_until(lock, *deadline, [&] { return entry->done; });
+    }
+
+    /** @{ Observability counters (monotonic since construction). */
+    std::uint64_t hits() const { return locked(hits_); }
+    std::uint64_t misses() const { return locked(misses_); }
+    std::uint64_t coalesced() const { return locked(coalesced_); }
+    std::uint64_t rejected() const { return locked(rejected_); }
+    /** Computations queued or running right now (the backpressure gauge). */
+    std::uint64_t pending() const { return locked(pending_); }
+    /** Entries resident (completed + pending). */
+    std::uint64_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.size();
+    }
+    /** @} */
+
+  private:
+    /** Drop oldest *completed* entries down to capacity.  Pending
+     *  fingerprints are skipped (their waiters hold the EntryPtr) and
+     *  re-queued behind the completed ones. */
+    void
+    evictOverflow()
+    {
+        while (entries_.size() > capacity_ && !insertionOrder_.empty()) {
+            const std::string fp = std::move(insertionOrder_.front());
+            insertionOrder_.pop_front();
+            auto it = entries_.find(fp);
+            if (it == entries_.end())
+                continue;
+            if (!it->second->done) {
+                insertionOrder_.push_back(fp);
+                // All remaining entries pending: nothing evictable.
+                if (entries_.size() <= pending_)
+                    return;
+                continue;
+            }
+            entries_.erase(it);
+        }
+    }
+
+    std::uint64_t
+    locked(const std::uint64_t &v) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return v;
+    }
+
+    const std::size_t capacity_;
+    const std::size_t maxPending_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::unordered_map<std::string, EntryPtr> entries_;
+    std::deque<std::string> insertionOrder_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t coalesced_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t pending_ = 0;
+};
+
+} // namespace hpe::serve

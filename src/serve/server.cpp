@@ -1,0 +1,453 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "api/api.hpp"
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "sim/sweep.hpp"
+
+namespace hpe::serve {
+
+using api::json::Object;
+using api::json::Value;
+
+namespace {
+
+/** The server signals route to (one daemon per process). */
+Server *g_signalServer = nullptr;
+
+extern "C" void
+serveSignalHandler(int)
+{
+    // Async-signal-safe: requestStop() only write()s to the self-pipe.
+    if (g_signalServer != nullptr)
+        g_signalServer->requestStop();
+}
+
+/** Write all of @p data (+ '\n') to @p fd; false on a broken peer. */
+bool
+writeLine(int fd, const std::string &data)
+{
+    std::string line = data;
+    line += '\n';
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::string
+errorResponse(const std::string &message,
+              std::optional<std::uint64_t> retryAfterMs = std::nullopt)
+{
+    Object obj{{"error", message}, {"ok", false}};
+    if (retryAfterMs.has_value())
+        obj.emplace("retry_after_ms", *retryAfterMs);
+    return Value(std::move(obj)).dump();
+}
+
+/** Copy the request's optional "id" member into a response object. */
+void
+echoId(const Value &envelope, Object &response)
+{
+    if (const Value *id = envelope.find("id"); id != nullptr)
+        response.emplace("id", *id);
+}
+
+} // namespace
+
+Server::Server(const ServeConfig &cfg)
+    : cfg_(cfg),
+      cache_(cfg.cacheCapacity > 0 ? cfg.cacheCapacity : 1,
+             cfg.maxQueue > 0 ? cfg.maxQueue : 1),
+      pool_(resolveJobs(cfg.jobs))
+{}
+
+Server::~Server()
+{
+    stop();
+    if (g_signalServer == this)
+        installSignalHandlers(nullptr);
+}
+
+bool
+Server::start(std::string &error)
+{
+    HPE_ASSERT(!started_, "server started twice");
+    if (cfg_.socketPath.empty()) {
+        error = "socket path is empty";
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg_.socketPath.size() >= sizeof(addr.sun_path)) {
+        error = strformat("socket path '{}' exceeds {} bytes",
+                          cfg_.socketPath, sizeof(addr.sun_path) - 1);
+        return false;
+    }
+    std::memcpy(addr.sun_path, cfg_.socketPath.c_str(),
+                cfg_.socketPath.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0) {
+        error = strformat("socket(): {}", std::strerror(errno));
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        error = strformat("bind('{}'): {} (is another hpe_serve running? "
+                          "remove the stale socket if not)",
+                          cfg_.socketPath, std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        error = strformat("listen(): {}", std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(cfg_.socketPath.c_str());
+        return false;
+    }
+    if (::pipe(stopPipe_) != 0) {
+        error = strformat("pipe(): {}", std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(cfg_.socketPath.c_str());
+        return false;
+    }
+    started_ = true;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    // Called from signal handlers: only async-signal-safe calls allowed.
+    if (stopPipe_[1] >= 0) {
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t n = ::write(stopPipe_[1], &byte, 1);
+    }
+}
+
+void
+Server::wait()
+{
+    std::unique_lock<std::mutex> lock(stateMutex_);
+    stopCv_.wait(lock, [this] { return stopRequested_; });
+}
+
+void
+Server::stop()
+{
+    if (!started_ || stopped_)
+        return;
+    stopped_ = true;
+    requestStop();
+    acceptThread_.join();
+
+    // Graceful drain: SHUT_RD unblocks each connection's pending read
+    // after its current request finishes and its response is flushed;
+    // the write half stays open until the handler is done with it.
+    std::vector<std::unique_ptr<Connection>> conns;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        conns.swap(connections_);
+    }
+    for (const auto &conn : conns)
+        ::shutdown(conn->fd, SHUT_RD);
+    for (const auto &conn : conns) {
+        conn->thread.join();
+        ::close(conn->fd);
+    }
+
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::close(stopPipe_[0]);
+    ::close(stopPipe_[1]);
+    stopPipe_[0] = stopPipe_[1] = -1;
+    ::unlink(cfg_.socketPath.c_str());
+}
+
+void
+Server::installSignalHandlers(Server *server)
+{
+    g_signalServer = server;
+    struct sigaction sa{};
+    sa.sa_handler = server != nullptr ? serveSignalHandler : SIG_DFL;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    if (server != nullptr)
+        ::signal(SIGPIPE, SIG_IGN);
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2] = {{listenFd_, POLLIN, 0}, {stopPipe_[0], POLLIN, 0}};
+        const int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("hpe_serve poll(): {}", std::strerror(errno));
+            break;
+        }
+        if ((fds[1].revents & POLLIN) != 0)
+            break; // stop requested
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("hpe_serve accept(): {}", std::strerror(errno));
+            continue;
+        }
+        ++connectionsTotal_;
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        Connection *raw = conn.get();
+        {
+            std::lock_guard<std::mutex> lock(stateMutex_);
+            connections_.push_back(std::move(conn));
+        }
+        raw->thread = std::thread([this, fd] { connectionLoop(fd); });
+    }
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    stopRequested_ = true;
+    stopCv_.notify_all();
+}
+
+void
+Server::connectionLoop(int fd)
+{
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+        const std::size_t newline = buffer.find('\n');
+        if (newline != std::string::npos) {
+            const std::string line = buffer.substr(0, newline);
+            buffer.erase(0, newline + 1);
+            if (line.empty())
+                continue;
+            const std::string response = handleLine(line);
+            if (!writeLine(fd, response))
+                return;
+            continue;
+        }
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return; // peer closed (or drain's SHUT_RD)
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+std::string
+Server::handleLine(const std::string &line)
+{
+    api::json::ParseError perr;
+    const auto envelope = api::json::parse(line, &perr);
+    if (!envelope.has_value()) {
+        ++errors_;
+        return errorResponse(strformat("request parse error at byte {}: {}",
+                                       perr.offset, perr.message));
+    }
+    if (!envelope->isObject()) {
+        ++errors_;
+        return errorResponse("request must be a JSON object");
+    }
+    std::string type = "run";
+    if (const Value *t = envelope->find("type"); t != nullptr) {
+        if (!t->isString()) {
+            ++errors_;
+            return errorResponse("field 'type' must be a string");
+        }
+        type = t->asString();
+    }
+
+    if (type == "run")
+        return handleRun(*envelope);
+    if (type == "stats") {
+        Object response{{"ok", true}, {"type", "stats"}};
+        echoId(*envelope, response);
+        api::json::ParseError ignored;
+        response.emplace("stats", *api::json::parse(statsJson(), &ignored));
+        ++served_;
+        return Value(std::move(response)).dump();
+    }
+    if (type == "ping") {
+        Object response{{"ok", true}, {"type", "pong"}};
+        echoId(*envelope, response);
+        ++served_;
+        return Value(std::move(response)).dump();
+    }
+    if (type == "shutdown") {
+        Object response{{"ok", true}, {"type", "shutting_down"}};
+        echoId(*envelope, response);
+        ++served_;
+        requestStop();
+        return Value(std::move(response)).dump();
+    }
+    ++errors_;
+    return errorResponse(strformat(
+        "unknown request type '{}' (valid: run, stats, ping, shutdown)",
+        type));
+}
+
+std::string
+Server::handleRun(const Value &envelope)
+{
+    // Empty "request" = the default experiment, like a bare `hpe_sim run`.
+    Value requestJson{Object{}};
+    if (const Value *r = envelope.find("request"); r != nullptr)
+        requestJson = *r;
+    std::string error;
+    const auto req = api::ExperimentRequest::fromJson(requestJson, error);
+    if (!req.has_value()) {
+        ++errors_;
+        return errorResponse("invalid request: " + error);
+    }
+
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::uint64_t deadlineMs = cfg_.defaultDeadlineMs;
+    if (const Value *d = envelope.find("deadline_ms"); d != nullptr) {
+        if (!d->isNumber()) {
+            ++errors_;
+            return errorResponse("field 'deadline_ms' must be a number");
+        }
+        deadlineMs = d->asUint();
+    }
+    if (deadlineMs > 0)
+        deadline = std::chrono::steady_clock::now()
+                   + std::chrono::milliseconds(deadlineMs);
+
+    const std::string fingerprint = req->fingerprint();
+    const ResultCache::Acquisition acq = cache_.acquire(fingerprint);
+
+    bool cached = false;
+    bool coalesced = false;
+    switch (acq.role) {
+      case ResultCache::Role::Rejected: {
+        ++errors_;
+        // Hint: one average service time per queued computation ahead.
+        const std::uint64_t retry = 100 * (1 + cache_.pending());
+        return errorResponse(
+            strformat("saturated: {} computations queued or running",
+                      cache_.pending()),
+            retry);
+      }
+      case ResultCache::Role::Hit:
+        cached = true;
+        break;
+      case ResultCache::Role::Wait:
+        coalesced = true;
+        break;
+      case ResultCache::Role::Compute: {
+        const api::ExperimentRequest run = *req;
+        const ResultCache::EntryPtr entry = acq.entry;
+        pool_.post([this, run, entry] {
+            ++running_;
+            std::string payload;
+            bool failed = false;
+            try {
+                payload = api::runExperiment(run).toJson().dump();
+            } catch (const std::exception &e) {
+                payload = strformat("experiment failed: {}", e.what());
+                failed = true;
+            } catch (...) {
+                payload = "experiment failed";
+                failed = true;
+            }
+            --running_;
+            cache_.complete(entry, std::move(payload), failed);
+        });
+        break;
+      }
+    }
+
+    if (!cache_.wait(acq.entry, deadline)) {
+        ++errors_;
+        return errorResponse(
+            strformat("deadline exceeded after {}ms (the computation "
+                      "continues; retry to pick it up from the cache)",
+                      deadlineMs),
+            deadlineMs);
+    }
+    if (acq.entry->failed) {
+        ++errors_;
+        return errorResponse(acq.entry->payload);
+    }
+
+    Object response{{"cached", cached},
+                    {"coalesced", coalesced},
+                    {"fingerprint", fingerprint},
+                    {"ok", true},
+                    {"type", "result"}};
+    echoId(envelope, response);
+    api::json::ParseError ignored;
+    const auto result = api::json::parse(acq.entry->payload, &ignored);
+    HPE_ASSERT(result.has_value(), "cached payload is not JSON");
+    response.emplace("result", *result);
+    ++served_;
+    return Value(std::move(response)).dump();
+}
+
+std::string
+Server::statsJson()
+{
+    // A fresh StatRegistry per snapshot: the daemon's counters surface
+    // through the same machinery every simulation stat uses, so the CSV
+    // dump format (and any tooling built on it) carries over unchanged.
+    StatRegistry stats;
+    stats.counter("serve.served") += served_.load();
+    stats.counter("serve.errors") += errors_.load();
+    stats.counter("serve.connections") += connectionsTotal_.load();
+    stats.counter("serve.cache.hits") += cache_.hits();
+    stats.counter("serve.cache.misses") += cache_.misses();
+    stats.counter("serve.cache.coalesced") += cache_.coalesced();
+    stats.counter("serve.cache.rejected") += cache_.rejected();
+    stats.counter("serve.cache.entries") += cache_.size();
+    stats.counter("serve.queue.depth") += cache_.pending();
+    stats.counter("serve.jobs.in_flight") += running_.load();
+    std::ostringstream csv;
+    stats.dumpCsv(csv);
+
+    return Value(Object{
+                     {"cache_entries", cache_.size()},
+                     {"cache_hits", cache_.hits()},
+                     {"cache_misses", cache_.misses()},
+                     {"coalesced", cache_.coalesced()},
+                     {"connections", connectionsTotal_.load()},
+                     {"errors", errors_.load()},
+                     {"in_flight", running_.load()},
+                     {"jobs", pool_.threads()},
+                     {"queue_depth", cache_.pending()},
+                     {"rejected", cache_.rejected()},
+                     {"served", served_.load()},
+                     {"stats_csv", std::move(csv).str()},
+                 })
+        .dump();
+}
+
+} // namespace hpe::serve

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * hpe_serve — the persistent experiment-serving daemon.
+ *
+ * A Server listens on a Unix-domain socket and speaks a newline-delimited
+ * JSON request/response protocol (one JSON object per line in each
+ * direction; see docs/api.md):
+ *
+ *   {"type":"run","request":{...ExperimentRequest...},"id":"tag",
+ *    "deadline_ms":5000}
+ *   {"type":"stats"} | {"type":"ping"} | {"type":"shutdown"}
+ *
+ * Request handling funnels through the stable hpe::api façade, so a cell
+ * served over the socket is byte-identical (same digests, same stat
+ * values) to the same cell run via the CLI or a sweep.  Completed
+ * results live in a content-addressed ResultCache keyed by the request
+ * fingerprint: a repeat query is O(1), and identical in-flight requests
+ * coalesce onto one computation.
+ *
+ * Operational behaviour:
+ *
+ *  - computations are scheduled onto the shared ThreadPool (post());
+ *    parallelism defaults to resolveJobs() like every other consumer;
+ *  - admission control: at most `maxQueue` computations may be queued or
+ *    running; beyond that, *new* work is rejected with a retry_after_ms
+ *    hint (cache hits and coalesced waits are always admitted);
+ *  - per-request deadlines: a waiter whose deadline passes gets a
+ *    deadline_exceeded error; the computation itself continues and lands
+ *    in the cache for the retry;
+ *  - graceful drain: SIGTERM/SIGINT (via installSignalHandlers) or a
+ *    `shutdown` request stop the accept loop, let every in-flight
+ *    request finish and its response flush, then tear the socket down;
+ *  - observability: a `stats` request surfaces the cache/queue counters
+ *    both as JSON and as a StatRegistry CSV dump (the PR-3 machinery).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/json.hpp"
+#include "common/thread_pool.hpp"
+#include "serve/result_cache.hpp"
+
+namespace hpe::serve {
+
+/** Daemon configuration (defaults match `hpe_sim serve`'s). */
+struct ServeConfig
+{
+    /** Filesystem path of the Unix-domain socket to bind. */
+    std::string socketPath;
+    /** Worker parallelism; 0 resolves via resolveJobs(). */
+    unsigned jobs = 0;
+    /** Bound on computations queued or running (admission control). */
+    std::size_t maxQueue = 64;
+    /** Completed results retained by the cache. */
+    std::size_t cacheCapacity = 1024;
+    /** Deadline applied to requests that carry none; 0 = unbounded. */
+    std::uint64_t defaultDeadlineMs = 0;
+};
+
+/** The daemon; construct, start(), wait(), stop().  See file comment. */
+class Server
+{
+  public:
+    explicit Server(const ServeConfig &cfg);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the socket and start accepting connections on a background
+     * thread.  @return false (with @p error filled) when the socket
+     * cannot be created — e.g. a stale daemon still owns the path.
+     */
+    bool start(std::string &error);
+
+    /** Block until a stop is requested (signal, shutdown request, or
+     *  requestStop()).  Does not tear down — call stop() after. */
+    void wait();
+
+    /**
+     * Ask the daemon to stop; safe from any thread, idempotent.  The
+     * actual drain happens in stop() on the owning thread.
+     */
+    void requestStop();
+
+    /** Graceful drain: stop accepting, finish in-flight requests, join
+     *  every connection, remove the socket file.  Idempotent.  Must not
+     *  be called from a connection thread (it joins them). */
+    void stop();
+
+    /**
+     * Route SIGTERM/SIGINT to requestStop() of @p server (one server per
+     * process), and ignore SIGPIPE so a vanished client cannot kill the
+     * daemon.  Call before start(); pass nullptr to detach.
+     */
+    static void installSignalHandlers(Server *server);
+
+    /** Serialized stats object (the `stats` response's "stats" member). */
+    std::string statsJson();
+
+    const ServeConfig &config() const { return cfg_; }
+    ResultCache &cache() { return cache_; }
+    /** Resolved worker parallelism. */
+    unsigned jobs() const { return pool_.threads(); }
+
+  private:
+    void acceptLoop();
+    void connectionLoop(int fd);
+    /** Handle one request line; @return the response line (no '\n'). */
+    std::string handleLine(const std::string &line);
+    std::string handleRun(const api::json::Value &envelope);
+
+    ServeConfig cfg_;
+    // cache_ before pool_: ~ThreadPool joins in-flight tasks, which call
+    // cache_.complete() — the cache must be destroyed after the pool.
+    ResultCache cache_;
+    ThreadPool pool_;
+
+    int listenFd_ = -1;
+    int stopPipe_[2] = {-1, -1};
+    std::thread acceptThread_;
+
+    std::mutex stateMutex_;
+    std::condition_variable stopCv_;
+    bool stopRequested_ = false;
+    bool stopped_ = false;
+    bool started_ = false;
+
+    /** Connection threads + fds, guarded by stateMutex_. */
+    struct Connection
+    {
+        int fd;
+        std::thread thread;
+    };
+    std::vector<std::unique_ptr<Connection>> connections_;
+
+    std::atomic<std::uint64_t> served_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::uint64_t> connectionsTotal_{0};
+    std::atomic<std::uint64_t> running_{0};
+};
+
+} // namespace hpe::serve

@@ -112,12 +112,57 @@ TEST(Commands, RunWithStatsDump)
     EXPECT_NE(os.str().find("uvm.faults"), std::string::npos);
 }
 
-TEST(Commands, RunUnknownPolicyIsFatal)
+TEST(Commands, RunUnknownPolicyExitsWithUsageCode)
 {
     std::ostringstream os;
     const Args a = parse({"run", "--policy", "NOPE", "--scale", "0.25"});
-    EXPECT_EXIT({ dispatch(a, os); }, ::testing::ExitedWithCode(1),
-                "unknown policy");
+    // Unknown names exit through usageFatal(): the distinct usage exit
+    // code and the registry's uniform valid-names message.
+    EXPECT_EXIT({ dispatch(a, os); }, ::testing::ExitedWithCode(kUsageExitCode),
+                "unknown policy 'NOPE' \\(valid: LRU, ");
+}
+
+TEST(Commands, RunUnknownAppExitsWithUsageCode)
+{
+    std::ostringstream os;
+    const Args a = parse({"run", "--app", "NOPE", "--scale", "0.25"});
+    EXPECT_EXIT({ dispatch(a, os); }, ::testing::ExitedWithCode(kUsageExitCode),
+                "unknown application 'NOPE' \\(valid: ");
+}
+
+TEST(Commands, CaseInsensitiveNamesResolveToCanonical)
+{
+    // Case-differing spellings must neither crash nor change the result:
+    // the registry canonicalizes them, so output is byte-identical.
+    const auto csvRun = [](const char *app, const char *policy) {
+        std::ostringstream os;
+        EXPECT_EQ(dispatch(parse({"run", "--app", app, "--policy", policy,
+                                  "--functional", "--csv", "--scale", "0.25"}),
+                           os),
+                  0);
+        return os.str();
+    };
+    const std::string canonical = csvRun("STN", "LRU");
+    EXPECT_EQ(csvRun("stn", "lru"), canonical);
+    EXPECT_EQ(csvRun("Stn", "Lru"), canonical);
+    EXPECT_NE(canonical.find("STN,LRU,"), std::string::npos);
+}
+
+TEST(Commands, LegacyNumericPrefetchMatchesCanonicalSpelling)
+{
+    const auto csvRun = [](std::vector<const char *> extra) {
+        std::vector<const char *> argv = {"run",     "--app",  "STN",
+                                          "--functional", "--csv", "--scale",
+                                          "0.25"};
+        argv.insert(argv.end(), extra.begin(), extra.end());
+        std::ostringstream os;
+        EXPECT_EQ(dispatch(parse(argv), os), 0);
+        return os.str();
+    };
+    // The deprecated numeric spelling must keep working and mean exactly
+    // `--prefetch sequential --prefetch-degree N`.
+    EXPECT_EQ(csvRun({"--prefetch", "8"}),
+              csvRun({"--prefetch", "sequential", "--prefetch-degree", "8"}));
 }
 
 TEST(Commands, CompareCoversAllPaperPolicies)

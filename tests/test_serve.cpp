@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Tests for the hpe_serve daemon: the ResultCache protocol (coalescing,
+ * admission control, eviction), and in-process socket round trips —
+ * request/response framing, content-addressed cache hits with identical
+ * bytes, error responses that never kill the daemon, stats counters, and
+ * graceful shutdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "api/json.hpp"
+#include "serve/client.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/server.hpp"
+
+namespace hpe::serve {
+namespace {
+
+using api::json::Value;
+
+// ------------------------------------------------------------ ResultCache
+
+TEST(ResultCache, ComputeThenHit)
+{
+    ResultCache cache(8, 4);
+    const auto first = cache.acquire("fp");
+    ASSERT_EQ(first.role, ResultCache::Role::Compute);
+    cache.complete(first.entry, "payload");
+
+    const auto second = cache.acquire("fp");
+    EXPECT_EQ(second.role, ResultCache::Role::Hit);
+    EXPECT_EQ(second.entry->payload, "payload");
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.pending(), 0u);
+}
+
+TEST(ResultCache, ConcurrentDuplicatesCoalesceOntoOneComputation)
+{
+    ResultCache cache(8, 4);
+    const auto owner = cache.acquire("fp");
+    ASSERT_EQ(owner.role, ResultCache::Role::Compute);
+
+    // A duplicate arriving while the computation runs waits on the same
+    // entry instead of computing again.
+    const auto dup = cache.acquire("fp");
+    ASSERT_EQ(dup.role, ResultCache::Role::Wait);
+    EXPECT_EQ(dup.entry, owner.entry);
+
+    std::thread completer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        cache.complete(owner.entry, "once");
+    });
+    EXPECT_TRUE(cache.wait(dup.entry, std::nullopt));
+    completer.join();
+    EXPECT_EQ(dup.entry->payload, "once");
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.coalesced(), 1u);
+}
+
+TEST(ResultCache, RejectsNewWorkWhenSaturatedButStillServesHits)
+{
+    ResultCache cache(8, 1);
+    const auto done = cache.acquire("done");
+    cache.complete(done.entry, "ready");
+
+    const auto inflight = cache.acquire("inflight");
+    ASSERT_EQ(inflight.role, ResultCache::Role::Compute);
+
+    // The pending bound is reached: new fingerprints are rejected...
+    const auto overflow = cache.acquire("overflow");
+    EXPECT_EQ(overflow.role, ResultCache::Role::Rejected);
+    EXPECT_EQ(overflow.entry, nullptr);
+    EXPECT_EQ(cache.rejected(), 1u);
+    // ...but hits and coalesced waits are always admitted.
+    EXPECT_EQ(cache.acquire("done").role, ResultCache::Role::Hit);
+    EXPECT_EQ(cache.acquire("inflight").role, ResultCache::Role::Wait);
+
+    cache.complete(inflight.entry, "now done");
+    EXPECT_EQ(cache.acquire("overflow").role, ResultCache::Role::Compute);
+}
+
+TEST(ResultCache, WaitHonoursDeadlines)
+{
+    ResultCache cache(8, 4);
+    const auto owner = cache.acquire("fp");
+    const auto deadline = std::chrono::steady_clock::now()
+                          + std::chrono::milliseconds(10);
+    EXPECT_FALSE(cache.wait(owner.entry, deadline));
+    cache.complete(owner.entry, "late");
+    EXPECT_TRUE(cache.wait(owner.entry, deadline));
+}
+
+TEST(ResultCache, EvictsOldestCompletedFirst)
+{
+    ResultCache cache(2, 4);
+    for (const char *fp : {"a", "b", "c"})
+        cache.complete(cache.acquire(fp).entry, fp);
+    EXPECT_EQ(cache.size(), 2u);
+    // "a" (oldest) was evicted; "c" (newest) survives.
+    EXPECT_EQ(cache.acquire("a").role, ResultCache::Role::Compute);
+    EXPECT_EQ(cache.acquire("c").role, ResultCache::Role::Hit);
+}
+
+TEST(ResultCache, NeverEvictsPendingEntries)
+{
+    ResultCache cache(1, 4);
+    const auto pending = cache.acquire("pending");
+    // Completing other entries overflows capacity, but the pending entry
+    // (whose waiters hold the pointer) must survive.
+    cache.complete(cache.acquire("x").entry, "x");
+    cache.complete(cache.acquire("y").entry, "y");
+    EXPECT_EQ(cache.acquire("pending").role, ResultCache::Role::Wait);
+    cache.complete(pending.entry, "done");
+    EXPECT_EQ(cache.acquire("pending").role, ResultCache::Role::Hit);
+}
+
+TEST(ResultCache, FailedComputationsAreCachedAsFailures)
+{
+    ResultCache cache(8, 4);
+    cache.complete(cache.acquire("fp").entry, "boom", true);
+    const auto hit = cache.acquire("fp");
+    EXPECT_EQ(hit.role, ResultCache::Role::Hit);
+    EXPECT_TRUE(hit.entry->failed);
+}
+
+// ------------------------------------------------------------- the daemon
+
+/** A started server on a unique socket; tears down on destruction. */
+struct TestServer
+{
+    explicit TestServer(const std::string &name, std::size_t maxQueue = 64)
+    {
+        cfg.socketPath = ::testing::TempDir() + "/hpe_" + name + ".sock";
+        cfg.maxQueue = maxQueue;
+        server = std::make_unique<Server>(cfg);
+        std::string error;
+        EXPECT_TRUE(server->start(error)) << error;
+    }
+
+    ~TestServer() { server->stop(); }
+
+    /** One request line over a fresh connection; EXPECT success. */
+    Value
+    roundTrip(const std::string &request)
+    {
+        std::string response, error;
+        EXPECT_TRUE(submitLine(cfg.socketPath, request, response, error))
+            << error;
+        api::json::ParseError perr;
+        const auto v = api::json::parse(response, &perr);
+        EXPECT_TRUE(v.has_value()) << perr.message << ": " << response;
+        return v.value_or(Value{});
+    }
+
+    ServeConfig cfg;
+    std::unique_ptr<Server> server;
+};
+
+/** A tiny run request (fast functional cell). */
+std::string
+runRequest()
+{
+    return R"({"type":"run","request":{"app":"STN","policy":"LRU",)"
+           R"("functional":true,"scale":0.1,"trace_digest":true}})";
+}
+
+TEST(Serve, PingPongRoundTrip)
+{
+    TestServer ts("ping");
+    const Value response = ts.roundTrip(R"({"type":"ping","id":"tag"})");
+    EXPECT_TRUE(response.find("ok")->asBool());
+    EXPECT_EQ(response.find("type")->asString(), "pong");
+    // The id echoes back so clients can match responses to requests.
+    EXPECT_EQ(response.find("id")->asString(), "tag");
+}
+
+TEST(Serve, RepeatedRequestIsServedFromCacheWithIdenticalBytes)
+{
+    TestServer ts("cache");
+    const Value first = ts.roundTrip(runRequest());
+    ASSERT_TRUE(first.find("ok")->asBool());
+    EXPECT_FALSE(first.find("cached")->asBool());
+
+    const Value second = ts.roundTrip(runRequest());
+    ASSERT_TRUE(second.find("ok")->asBool());
+    EXPECT_TRUE(second.find("cached")->asBool());
+    // The cached payload is byte-identical to the computed one.
+    EXPECT_EQ(second.find("result")->dump(), first.find("result")->dump());
+    EXPECT_EQ(second.find("fingerprint")->asString(),
+              first.find("fingerprint")->asString());
+    EXPECT_EQ(ts.server->cache().hits(), 1u);
+    EXPECT_EQ(ts.server->cache().misses(), 1u);
+}
+
+TEST(Serve, CaseDifferingSpellingsShareOneCacheSlot)
+{
+    TestServer ts("spelling");
+    const Value canonical = ts.roundTrip(runRequest());
+    const Value lower = ts.roundTrip(
+        R"({"type":"run","request":{"app":"stn","policy":"lru",)"
+        R"("functional":true,"scale":0.1,"trace_digest":true}})");
+    ASSERT_TRUE(lower.find("ok")->asBool());
+    // Content addressing: same experiment, same fingerprint, cache hit.
+    EXPECT_TRUE(lower.find("cached")->asBool());
+    EXPECT_EQ(lower.find("fingerprint")->asString(),
+              canonical.find("fingerprint")->asString());
+    EXPECT_EQ(lower.find("result")->dump(), canonical.find("result")->dump());
+}
+
+TEST(Serve, ConcurrentIdenticalSubmitsComputeOnce)
+{
+    TestServer ts("concurrent");
+    constexpr int kClients = 4;
+    std::vector<std::string> results(kClients);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i)
+        clients.emplace_back([&, i] {
+            std::string response, error;
+            ASSERT_TRUE(submitLine(ts.cfg.socketPath, runRequest(), response,
+                                   error))
+                << error;
+            results[static_cast<std::size_t>(i)] = response;
+        });
+    for (std::thread &t : clients)
+        t.join();
+
+    // Exactly one computation; every other client hit or coalesced, and
+    // all of them received the same result bytes.
+    const ResultCache &cache = ts.server->cache();
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits() + cache.coalesced(),
+              static_cast<std::uint64_t>(kClients - 1));
+    api::json::ParseError perr;
+    const std::string expected =
+        api::json::parse(results[0], &perr)->find("result")->dump();
+    for (const std::string &r : results)
+        EXPECT_EQ(api::json::parse(r, &perr)->find("result")->dump(),
+                  expected);
+}
+
+TEST(Serve, InvalidRequestsGetErrorResponsesNotCrashes)
+{
+    TestServer ts("errors");
+    const Value badJson = ts.roundTrip("this is not json");
+    EXPECT_FALSE(badJson.find("ok")->asBool());
+    EXPECT_NE(badJson.find("error")->asString().find("parse error"),
+              std::string::npos);
+
+    const Value badName = ts.roundTrip(
+        R"({"type":"run","request":{"policy":"NOPE"}})");
+    EXPECT_FALSE(badName.find("ok")->asBool());
+    EXPECT_NE(badName.find("error")->asString().find(
+                  "unknown policy 'NOPE' (valid: "),
+              std::string::npos);
+
+    const Value badType = ts.roundTrip(R"({"type":"transmogrify"})");
+    EXPECT_FALSE(badType.find("ok")->asBool());
+    EXPECT_NE(badType.find("error")->asString().find("unknown request type"),
+              std::string::npos);
+
+    // The daemon survived all of it.
+    EXPECT_TRUE(ts.roundTrip(R"({"type":"ping"})").find("ok")->asBool());
+    EXPECT_EQ(ts.server->cache().misses(), 0u);
+}
+
+TEST(Serve, StatsSurfaceCacheAndQueueCounters)
+{
+    TestServer ts("stats");
+    ts.roundTrip(runRequest());
+    ts.roundTrip(runRequest());
+    const Value stats = ts.roundTrip(R"({"type":"stats"})");
+    ASSERT_TRUE(stats.find("ok")->asBool());
+    const Value *body = stats.find("stats");
+    ASSERT_NE(body, nullptr);
+    EXPECT_EQ(body->find("cache_hits")->asUint(), 1u);
+    EXPECT_EQ(body->find("cache_misses")->asUint(), 1u);
+    EXPECT_EQ(body->find("served")->asUint(), 2u);
+    EXPECT_EQ(body->find("queue_depth")->asUint(), 0u);
+    EXPECT_EQ(body->find("in_flight")->asUint(), 0u);
+    // The same counters ride the StatRegistry CSV machinery.
+    const std::string csv = body->find("stats_csv")->asString();
+    EXPECT_NE(csv.find("serve.cache.hits,1,1"), std::string::npos);
+    EXPECT_NE(csv.find("serve.cache.misses,1,1"), std::string::npos);
+}
+
+TEST(Serve, ShutdownRequestDrainsGracefully)
+{
+    TestServer ts("shutdown");
+    const Value ack = ts.roundTrip(R"({"type":"shutdown"})");
+    EXPECT_TRUE(ack.find("ok")->asBool());
+    EXPECT_EQ(ack.find("type")->asString(), "shutting_down");
+
+    ts.server->wait(); // returns because the request stopped the daemon
+    ts.server->stop();
+    // The socket file is gone; new connections are refused.
+    std::string response, error;
+    EXPECT_FALSE(
+        submitLine(ts.cfg.socketPath, R"({"type":"ping"})", response, error));
+}
+
+TEST(Serve, SaturatedDaemonRejectsWithRetryHint)
+{
+    // maxQueue = 0 is clamped to 1 by the server; use a cache primed with
+    // an in-flight entry to hold the only slot, then submit new work.
+    TestServer ts("saturated", 1);
+    const auto holder = ts.server->cache().acquire("held-slot");
+    ASSERT_EQ(holder.role, ResultCache::Role::Compute);
+
+    const Value rejected = ts.roundTrip(runRequest());
+    EXPECT_FALSE(rejected.find("ok")->asBool());
+    EXPECT_NE(rejected.find("error")->asString().find("saturated"),
+              std::string::npos);
+    ASSERT_NE(rejected.find("retry_after_ms"), nullptr);
+    EXPECT_GT(rejected.find("retry_after_ms")->asUint(), 0u);
+
+    // Releasing the slot re-admits the same request.
+    ts.server->cache().complete(holder.entry, "freed");
+    EXPECT_TRUE(ts.roundTrip(runRequest()).find("ok")->asBool());
+}
+
+TEST(Serve, StartFailsCleanlyOnUnusableSocketPath)
+{
+    ServeConfig cfg;
+    cfg.socketPath = "/nonexistent-dir/hpe.sock";
+    Server server(cfg);
+    std::string error;
+    EXPECT_FALSE(server.start(error));
+    EXPECT_NE(error.find("bind"), std::string::npos);
+}
+
+} // namespace
+} // namespace hpe::serve

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Daemon smoke test: start hpe_serve, submit the HSD/HPE golden cell over
+# the socket, and assert
+#   1. the served digest is byte-identical to ci/golden/HSD_HPE.digest
+#      (the same bytes `hpe_sim run` and the sweep produce),
+#   2. an identical re-submit is answered from the result cache,
+#   3. a `shutdown` request drains the daemon to a clean exit 0.
+#
+# Usage: tools/daemon_smoke.sh [path-to-hpe_sim]   (default: build/tools/hpe_sim)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HPE_SIM="${1:-build/tools/hpe_sim}"
+SOCK="$(mktemp -u /tmp/hpe_smoke.XXXXXX.sock)"
+GOLDEN="ci/golden/HSD_HPE.digest"
+CELL=(--app HSD --policy HPE --functional --scale 0.1 --seed 1 --trace-digest)
+
+fail() { echo "daemon smoke: $*" >&2; exit 1; }
+
+[ -x "$HPE_SIM" ] || fail "$HPE_SIM not built"
+[ -f "$GOLDEN" ] || fail "$GOLDEN missing"
+
+"$HPE_SIM" serve --socket "$SOCK" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+
+# Wait for the socket to appear (the daemon binds before accepting).
+for _ in $(seq 1 50); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+[ -S "$SOCK" ] || fail "daemon did not create $SOCK"
+
+# 1. First submit computes; its digest must match the checked-in golden.
+first="$("$HPE_SIM" submit --socket "$SOCK" "${CELL[@]}")"
+echo "$first" | grep -q '"ok":true' || fail "first submit failed: $first"
+echo "$first" | grep -q '"cached":false' || fail "first submit unexpectedly cached"
+digest="$(echo "$first" | sed -n 's/.*"trace_digest":"\([0-9a-f]*\)".*/\1/p')"
+events="$(echo "$first" | sed -n 's/.*"trace_events":\([0-9]*\).*/\1/p')"
+served_line="trace digest $digest ($events events)"
+golden_line="$(head -n 1 "$GOLDEN")"
+[ "$served_line" = "$golden_line" ] \
+    || fail "digest mismatch: served '$served_line' vs golden '$golden_line'"
+
+# 2. An identical re-submit must be a cache hit with the same digest.
+second="$("$HPE_SIM" submit --socket "$SOCK" "${CELL[@]}")"
+echo "$second" | grep -q '"cached":true' || fail "re-submit missed the cache: $second"
+echo "$second" | grep -q "\"trace_digest\":\"$digest\"" \
+    || fail "cached digest differs: $second"
+
+stats="$("$HPE_SIM" submit --socket "$SOCK" --type stats)"
+echo "$stats" | grep -q '"cache_hits":1' || fail "expected one cache hit: $stats"
+echo "$stats" | grep -q '"cache_misses":1' || fail "expected one cache miss: $stats"
+
+# 3. Graceful shutdown: the daemon drains and exits 0.
+"$HPE_SIM" submit --socket "$SOCK" --type shutdown >/dev/null
+wait "$SERVE_PID" || fail "daemon exited non-zero"
+trap - EXIT
+rm -f "$SOCK"
+[ ! -S "$SOCK" ] || fail "socket file survived shutdown"
+
+echo "daemon smoke: digest match, cache hit, clean shutdown"
