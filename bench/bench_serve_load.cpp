@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Load injector for the hpe_serve daemon: N concurrent clients firing
+ * mixed hot/cold fingerprint traffic, reporting a latency histogram and
+ * the daemon's shed-mode counters as JSON.
+ *
+ * Hot requests repeat a small set of fingerprints (after the first
+ * computation they are cache hits / coalesced waits — the traffic a
+ * saturated daemon must keep answering); cold requests are unique
+ * (client, iteration) fingerprints that each demand a computation — the
+ * traffic tiered shedding exists to push back on.
+ *
+ * By default the bench hosts its own daemon on a temporary socket with
+ * a deliberately small --max-queue so the shed tiers actually engage;
+ * pass --socket to drive an externally managed daemon instead (the
+ * kill-9 recovery CI leg does).  Every response is counted — ok,
+ * cached, coalesced, shed, error — and the run *fails* (exit 1) only
+ * when the daemon stops answering, which is the bench's contract: under
+ * any admissible load the daemon sheds, it never dies.
+ *
+ *   bench_serve_load [--clients 64] [--requests 12] [--hot 0.7]
+ *                    [--scale 0.05] [--max-queue 4] [--socket PATH]
+ *                    [--store-dir DIR] [--out FILE|-]
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "api/api.hpp"
+#include "api/json.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using hpe::api::json::Object;
+using hpe::api::json::Value;
+
+struct Options
+{
+    unsigned clients = 64;
+    unsigned requests = 12;
+    double hotFraction = 0.7;
+    double scale = 0.05;
+    std::size_t maxQueue = 4;
+    std::string socketPath; // empty = self-host
+    std::string storeDir;   // self-host only
+    std::string out = "-";
+};
+
+[[noreturn]] void
+usage(const char *prog)
+{
+    std::cerr
+        << "usage: " << prog
+        << " [--clients N] [--requests N] [--hot F] [--scale S]\n"
+           "       [--max-queue N] [--socket PATH] [--store-dir DIR]\n"
+           "       [--out FILE|-]\n"
+           "  --clients    concurrent client threads (default 64)\n"
+           "  --requests   requests per client (default 12)\n"
+           "  --hot        fraction of requests drawn from the shared hot\n"
+           "               fingerprint set (default 0.7)\n"
+           "  --scale      workload scale of each cell (default 0.05)\n"
+           "  --max-queue  self-hosted daemon admission bound (default 4)\n"
+           "  --socket     drive an external daemon instead of self-hosting\n"
+           "  --store-dir  durable store for the self-hosted daemon\n"
+           "  --out        JSON report destination (default '-': stdout)\n";
+    std::exit(2);
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (++i >= argc) {
+                std::cerr << argv[0] << ": " << arg << " requires a value\n";
+                usage(argv[0]);
+            }
+            return argv[i];
+        };
+        char *end = nullptr;
+        if (arg == "--clients")
+            opt.clients = static_cast<unsigned>(std::strtoul(value(), &end, 10));
+        else if (arg == "--requests")
+            opt.requests = static_cast<unsigned>(std::strtoul(value(), &end, 10));
+        else if (arg == "--hot")
+            opt.hotFraction = std::strtod(value(), &end);
+        else if (arg == "--scale")
+            opt.scale = std::strtod(value(), &end);
+        else if (arg == "--max-queue")
+            opt.maxQueue = std::strtoull(value(), &end, 10);
+        else if (arg == "--socket")
+            opt.socketPath = value();
+        else if (arg == "--store-dir")
+            opt.storeDir = value();
+        else if (arg == "--out")
+            opt.out = value();
+        else if (arg == "--help" || arg == "-h")
+            usage(argv[0]);
+        else {
+            std::cerr << argv[0] << ": unexpected argument '" << arg << "'\n";
+            usage(argv[0]);
+        }
+        if (end != nullptr && (*end != '\0' || end == argv[i])) {
+            std::cerr << argv[0] << ": bad value for " << arg << "\n";
+            usage(argv[0]);
+        }
+    }
+    if (opt.clients == 0 || opt.requests == 0 || opt.hotFraction < 0
+        || opt.hotFraction > 1 || opt.scale <= 0)
+        usage(argv[0]);
+    return opt;
+}
+
+/** One run-request line for (app fixed, seed varies = fingerprint varies). */
+std::string
+requestLine(double scale, std::uint64_t seed)
+{
+    hpe::api::ExperimentRequest req;
+    req.app = "STN";
+    req.policy = "LRU";
+    req.functional = true;
+    req.scale = scale;
+    req.seed = seed;
+    req.normalize();
+    return Value(Object{{"request", req.toJson()}, {"type", "run"}}).dump();
+}
+
+/** Power-of-two latency histogram in microseconds. */
+struct Histogram
+{
+    static constexpr unsigned kBuckets = 24; // up to ~8.4 s
+    std::vector<std::uint64_t> counts = std::vector<std::uint64_t>(kBuckets);
+
+    static unsigned
+    bucketOf(std::uint64_t us)
+    {
+        unsigned b = 0;
+        while ((1ull << b) <= us && b + 1 < kBuckets)
+            ++b;
+        return b;
+    }
+};
+
+struct ClientTotals
+{
+    std::uint64_t ok = 0;
+    std::uint64_t cached = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t transportFailures = 0;
+    std::vector<std::uint64_t> latenciesUs;
+};
+
+ClientTotals
+runClient(const Options &opt, const std::string &socket, unsigned id,
+          const std::vector<std::string> &hotLines)
+{
+    ClientTotals totals;
+    std::mt19937_64 rng(0x9e3779b97f4a7c15ull ^ id);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    for (unsigned i = 0; i < opt.requests; ++i) {
+        const bool hot = coin(rng) < opt.hotFraction;
+        const std::string &line =
+            hot ? hotLines[rng() % hotLines.size()]
+                : [&]() -> const std::string & {
+                      static thread_local std::string cold;
+                      // Unique (client, iteration) seed => unique
+                      // fingerprint => a genuine computation demand.
+                      cold = requestLine(opt.scale,
+                                         1000 + id * 10000ull + i);
+                      return cold;
+                  }();
+        const auto start = std::chrono::steady_clock::now();
+        std::string response, error;
+        const bool sent =
+            hpe::serve::submitLine(socket, line, response, error);
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+        totals.latenciesUs.push_back(static_cast<std::uint64_t>(us));
+        if (!sent) {
+            ++totals.transportFailures;
+            continue;
+        }
+        const auto parsed = hpe::api::json::parse(response);
+        if (!parsed.has_value() || !parsed->isObject()) {
+            ++totals.errors;
+            continue;
+        }
+        const Value *ok = parsed->find("ok");
+        if (ok != nullptr && ok->isBool() && ok->asBool()) {
+            ++totals.ok;
+            if (const Value *c = parsed->find("cached");
+                c != nullptr && c->asBool())
+                ++totals.cached;
+            if (const Value *c = parsed->find("coalesced");
+                c != nullptr && c->asBool())
+                ++totals.coalesced;
+        } else if (parsed->find("retry_after_ms") != nullptr) {
+            ++totals.shed;
+        } else {
+            ++totals.errors;
+        }
+    }
+    return totals;
+}
+
+std::uint64_t
+percentile(std::vector<std::uint64_t> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseOptions(argc, argv);
+
+    // Self-host unless an external daemon was named.
+    std::unique_ptr<hpe::serve::Server> server;
+    std::string socket = opt.socketPath;
+    char tmpl[] = "/tmp/hpe_serve_load.XXXXXX";
+    if (socket.empty()) {
+        if (::mkdtemp(tmpl) == nullptr) {
+            std::cerr << "mkdtemp: " << std::strerror(errno) << "\n";
+            return 1;
+        }
+        socket = std::string(tmpl) + "/load.sock";
+        hpe::serve::ServeConfig cfg;
+        cfg.socketPath = socket;
+        cfg.maxQueue = opt.maxQueue;
+        cfg.storeDir = opt.storeDir;
+        server = std::make_unique<hpe::serve::Server>(cfg);
+        std::string error;
+        if (!server->start(error)) {
+            std::cerr << "server start failed: " << error << "\n";
+            return 1;
+        }
+    }
+
+    // The hot set: 4 distinct cells every client keeps re-requesting.
+    std::vector<std::string> hotLines;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        hotLines.push_back(requestLine(opt.scale, seed));
+
+    const auto wallStart = std::chrono::steady_clock::now();
+    std::vector<ClientTotals> perClient(opt.clients);
+    std::vector<std::thread> threads;
+    threads.reserve(opt.clients);
+    for (unsigned c = 0; c < opt.clients; ++c)
+        threads.emplace_back([&, c] {
+            perClient[c] = runClient(opt, socket, c, hotLines);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    const double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - wallStart)
+            .count();
+
+    ClientTotals totals;
+    for (const ClientTotals &ct : perClient) {
+        totals.ok += ct.ok;
+        totals.cached += ct.cached;
+        totals.coalesced += ct.coalesced;
+        totals.shed += ct.shed;
+        totals.errors += ct.errors;
+        totals.transportFailures += ct.transportFailures;
+        totals.latenciesUs.insert(totals.latenciesUs.end(),
+                                  ct.latenciesUs.begin(),
+                                  ct.latenciesUs.end());
+    }
+
+    // The daemon must have survived the whole run: the final stats
+    // round trip doubles as the liveness check.
+    std::string statsResponse, error;
+    const bool alive = hpe::serve::submitLine(
+        socket, R"({"type":"stats"})", statsResponse, error);
+    Value stats;
+    if (alive)
+        if (auto parsed = hpe::api::json::parse(statsResponse);
+            parsed.has_value() && parsed->find("stats") != nullptr)
+            stats = *parsed->find("stats");
+
+    Histogram hist;
+    for (const std::uint64_t us : totals.latenciesUs)
+        ++hist.counts[Histogram::bucketOf(us)];
+    std::sort(totals.latenciesUs.begin(), totals.latenciesUs.end());
+
+    hpe::api::json::Array buckets;
+    for (unsigned b = 0; b < Histogram::kBuckets; ++b)
+        if (hist.counts[b] > 0)
+            buckets.push_back(Value(Object{
+                {"count", hist.counts[b]},
+                {"le_us", std::uint64_t{1} << b},
+            }));
+
+    Object report{
+        {"clients", opt.clients},
+        {"config",
+         Object{{"hot_fraction", opt.hotFraction},
+                {"max_queue", static_cast<std::uint64_t>(opt.maxQueue)},
+                {"requests_per_client", opt.requests},
+                {"scale", opt.scale},
+                {"self_hosted", server != nullptr},
+                {"store_dir", opt.storeDir}}},
+        {"daemon_alive", alive},
+        {"latency_us",
+         Object{{"histogram", std::move(buckets)},
+                {"max", totals.latenciesUs.empty()
+                            ? std::uint64_t{0}
+                            : totals.latenciesUs.back()},
+                {"p50", percentile(totals.latenciesUs, 0.50)},
+                {"p90", percentile(totals.latenciesUs, 0.90)},
+                {"p99", percentile(totals.latenciesUs, 0.99)}}},
+        {"responses",
+         Object{{"cached", totals.cached},
+                {"coalesced", totals.coalesced},
+                {"errors", totals.errors},
+                {"ok", totals.ok},
+                {"shed", totals.shed},
+                {"total", static_cast<std::uint64_t>(totals.latenciesUs.size())},
+                {"transport_failures", totals.transportFailures}}},
+        {"stats", std::move(stats)},
+        {"wall_seconds", wallSeconds},
+    };
+    const std::string json = Value(std::move(report)).dump();
+    if (opt.out == "-") {
+        std::cout << json << "\n";
+    } else {
+        std::ofstream file(opt.out);
+        if (!file) {
+            std::cerr << "cannot write '" << opt.out << "'\n";
+            return 1;
+        }
+        file << json << "\n";
+    }
+
+    if (server != nullptr)
+        server->stop();
+    if (!alive) {
+        std::cerr << "FAIL: daemon stopped answering: " << error << "\n";
+        return 1;
+    }
+    std::cerr << "bench_serve_load: " << totals.latenciesUs.size()
+              << " requests, " << totals.ok << " ok (" << totals.cached
+              << " cached, " << totals.coalesced << " coalesced), "
+              << totals.shed << " shed, " << totals.errors
+              << " errors, " << totals.transportFailures
+              << " transport failures\n";
+    return 0;
+}

@@ -1,11 +1,16 @@
 #include "cli/commands.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <ostream>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/api.hpp"
@@ -421,8 +426,10 @@ listCommand(const Args &args, std::ostream &os)
 int
 serveCommand(const Args &args, std::ostream &os)
 {
-    args.allowOnly(
-        {"socket", "jobs", "max-queue", "cache-capacity", "deadline-ms"});
+    args.allowOnly({"socket", "jobs", "max-queue", "cache-capacity",
+                    "deadline-ms", "store-dir", "no-store",
+                    "store-segment-bytes", "store-sync", "shed-hit-only",
+                    "shed-reject"});
     serve::ServeConfig cfg;
     cfg.socketPath = args.get("socket");
     if (cfg.socketPath.empty())
@@ -436,13 +443,30 @@ serveCommand(const Args &args, std::ostream &os)
     if (cfg.cacheCapacity == 0)
         fatal("--cache-capacity must be at least 1");
 
+    // Durable store: --store-dir, else the HPE_STORE_DIR environment
+    // (deployment default); --no-store forces memory-only over both.
+    cfg.storeDir = args.get("store-dir");
+    if (cfg.storeDir.empty())
+        if (const char *env = std::getenv("HPE_STORE_DIR"); env != nullptr)
+            cfg.storeDir = env;
+    if (args.has("no-store"))
+        cfg.storeDir.clear();
+    cfg.storeSegmentBytes = args.getUint("store-segment-bytes", 4u << 20);
+    if (!cfg.storeDir.empty() && cfg.storeSegmentBytes == 0)
+        fatal("--store-segment-bytes must be positive");
+    cfg.storeSync = args.has("store-sync");
+    cfg.shedHitOnlyDepth = args.getUint("shed-hit-only", 0);
+    cfg.shedRejectDepth = args.getUint("shed-reject", 0);
+
     serve::Server server(cfg);
     serve::Server::installSignalHandlers(&server);
     std::string error;
     if (!server.start(error))
         fatal("{}", error);
-    inform("hpe_serve listening on {} ({} jobs, queue {}, cache {})",
-           cfg.socketPath, server.jobs(), cfg.maxQueue, cfg.cacheCapacity);
+    inform("hpe_serve listening on {} ({} jobs, queue {}, cache {}, "
+           "store {})",
+           cfg.socketPath, server.jobs(), cfg.maxQueue, cfg.cacheCapacity,
+           cfg.storeDir.empty() ? "off" : cfg.storeDir);
     server.wait();
     inform("hpe_serve draining");
     server.stop();
@@ -454,9 +478,9 @@ int
 submitCommand(const Args &args, std::ostream &os)
 {
     args.allowOnly(withChaosOptions(
-        {"socket", "type", "deadline-ms", "id", "app", "policy", "oversub",
-         "scale", "seed", "functional", "stats", "walk-latency", "prefetch",
-         "prefetch-degree", "fault-batch", "multi-level-walker",
+        {"socket", "type", "deadline-ms", "id", "retries", "app", "policy",
+         "oversub", "scale", "seed", "functional", "stats", "walk-latency",
+         "prefetch", "prefetch-degree", "fault-batch", "multi-level-walker",
          "trace-digest", "trace-events", "trace-ring", "interval"}));
     const std::string socket = args.get("socket");
     if (socket.empty())
@@ -473,17 +497,41 @@ submitCommand(const Args &args, std::ostream &os)
         req.interval = args.getUint("interval", 0);
         envelope.emplace("request", req.toJson());
     }
+    const std::string line = api::json::Value(std::move(envelope)).dump();
 
-    std::string response, error;
-    if (!serve::submitLine(socket, api::json::Value(std::move(envelope)).dump(),
-                           response, error))
-        fatal("{}", error);
+    // A shedding daemon answers ok:false with a retry_after_ms hint;
+    // honour it with bounded, jittered backoff instead of surfacing the
+    // first rejection (--retries 0 restores fail-fast).
+    const std::uint64_t maxRetries = args.getUint("retries", 5);
+    std::mt19937_64 jitterRng(static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count()));
+    std::string response;
+    std::optional<api::json::Value> parsed;
+    for (std::uint64_t attempt = 0;; ++attempt) {
+        std::string error;
+        if (!serve::submitLine(socket, line, response, error))
+            fatal("{}", error);
+        api::json::ParseError perr;
+        parsed = api::json::parse(response, &perr);
+        if (!parsed.has_value() || !parsed->isObject())
+            fatal("malformed response from daemon: {}", response);
+        const api::json::Value *ok = parsed->find("ok");
+        const api::json::Value *retryAfter = parsed->find("retry_after_ms");
+        if ((ok != nullptr && ok->isBool() && ok->asBool())
+            || retryAfter == nullptr || !retryAfter->isNumber()
+            || attempt >= maxRetries)
+            break;
+        // Hint + up to 50% jitter, capped so a pathological hint cannot
+        // wedge the CLI; decorrelated retries spread the thundering herd.
+        const std::uint64_t hint = std::min<std::uint64_t>(
+            std::max<std::uint64_t>(retryAfter->asUint(), 1), 2000);
+        const std::uint64_t sleepMs = hint + jitterRng() % (hint / 2 + 1);
+        inform("daemon busy (attempt {}/{}); retrying in {} ms",
+               attempt + 1, maxRetries, sleepMs);
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleepMs));
+    }
     os << response << "\n";
 
-    api::json::ParseError perr;
-    const auto parsed = api::json::parse(response, &perr);
-    if (!parsed.has_value() || !parsed->isObject())
-        fatal("malformed response from daemon: {}", response);
     const api::json::Value *ok = parsed->find("ok");
     return ok != nullptr && ok->isBool() && ok->asBool() ? 0 : 1;
 }
@@ -525,10 +573,13 @@ printUsage(std::ostream &os)
           "  serve    experiment-serving daemon on a Unix socket (docs/api.md)\n"
           "           --socket PATH [--jobs N] [--max-queue 64]\n"
           "           [--cache-capacity 1024] [--deadline-ms N]\n"
+          "           [--store-dir DIR|--no-store] [--store-sync]\n"
+          "           [--store-segment-bytes N] [--shed-hit-only N]\n"
+          "           [--shed-reject N]\n"
           "  submit   send one request to a running daemon, print the response\n"
           "           --socket PATH [run options] [--trace-digest] [--interval N]\n"
           "           [--type run|stats|ping|shutdown] [--deadline-ms N]\n"
-          "           [--id TAG]\n"
+          "           [--id TAG] [--retries 5]\n"
           "  list     available applications, policies, and prefetchers\n"
           "\n"
           "names (apps, policies, prefetchers) are case-insensitive; `list`\n"

@@ -23,7 +23,10 @@
  *
  * Completed entries are retained up to a capacity; the oldest completed
  * entry is evicted first (pending entries are never evicted — waiters
- * hold references to them).  All methods are thread-safe.
+ * hold references to them).  Evictions are reported to an optional
+ * observer (the daemon journals a tombstone in its ResultStore), and
+ * seed() warm-starts the cache from recovered journal records on boot.
+ * All methods are thread-safe.
  */
 
 #pragma once
@@ -32,11 +35,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace hpe::serve {
 
@@ -79,9 +84,14 @@ class ResultCache
         : capacity_(capacity), maxPending_(maxPending)
     {}
 
-    /** Look up @p fingerprint and claim a role; see file comment. */
+    /**
+     * Look up @p fingerprint and claim a role; see file comment.
+     * @p admitNew false — the server's hit-and-coalesce shed mode —
+     * rejects a fingerprint the cache does not already hold, without
+     * consuming a pending slot.
+     */
     Acquisition
-    acquire(const std::string &fingerprint)
+    acquire(const std::string &fingerprint, bool admitNew = true)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (auto it = entries_.find(fingerprint); it != entries_.end()) {
@@ -92,7 +102,7 @@ class ResultCache
             ++coalesced_;
             return {Role::Wait, it->second};
         }
-        if (pending_ >= maxPending_) {
+        if (!admitNew || pending_ >= maxPending_) {
             ++rejected_;
             return {Role::Rejected, nullptr};
         }
@@ -108,15 +118,57 @@ class ResultCache
     void
     complete(const EntryPtr &entry, std::string payload, bool failed = false)
     {
+        std::vector<std::string> evicted;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             entry->payload = std::move(payload);
             entry->failed = failed;
             entry->done = true;
             --pending_;
-            evictOverflow();
+            evictOverflow(evicted);
         }
         ready_.notify_all();
+        notifyEvicted(evicted);
+    }
+
+    /**
+     * Insert an already-completed result — the daemon's warm start
+     * replaying the durable store on boot.  Counts as neither a hit
+     * nor a miss; an existing entry for @p fingerprint wins (live
+     * state beats the journal).  Capacity is enforced, so seeding in
+     * journal order retains the most recently written results.
+     */
+    void
+    seed(const std::string &fingerprint, std::string payload,
+         bool failed = false)
+    {
+        std::vector<std::string> evicted;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (entries_.contains(fingerprint))
+                return;
+            auto entry = std::make_shared<Entry>();
+            entry->payload = std::move(payload);
+            entry->failed = failed;
+            entry->done = true;
+            entries_.emplace(fingerprint, entry);
+            insertionOrder_.push_back(fingerprint);
+            ++seeded_;
+            evictOverflow(evicted);
+        }
+        notifyEvicted(evicted);
+    }
+
+    /**
+     * Observe evictions (the daemon journals a tombstone for each).
+     * Called *after* the cache lock is released, so the observer may
+     * call back into the cache; set before the daemon starts serving.
+     */
+    void
+    setEvictionObserver(std::function<void(const std::string &)> observer)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        evictionObserver_ = std::move(observer);
     }
 
     /**
@@ -140,6 +192,8 @@ class ResultCache
     std::uint64_t misses() const { return locked(misses_); }
     std::uint64_t coalesced() const { return locked(coalesced_); }
     std::uint64_t rejected() const { return locked(rejected_); }
+    std::uint64_t seeded() const { return locked(seeded_); }
+    std::uint64_t evictions() const { return locked(evictions_); }
     /** Computations queued or running right now (the backpressure gauge). */
     std::uint64_t pending() const { return locked(pending_); }
     /** Entries resident (completed + pending). */
@@ -151,11 +205,12 @@ class ResultCache
     /** @} */
 
   private:
-    /** Drop oldest *completed* entries down to capacity.  Pending
+    /** Drop oldest *completed* entries down to capacity, collecting
+     *  their fingerprints into @p evicted for the observer.  Pending
      *  fingerprints are skipped (their waiters hold the EntryPtr) and
      *  re-queued behind the completed ones. */
     void
-    evictOverflow()
+    evictOverflow(std::vector<std::string> &evicted)
     {
         while (entries_.size() > capacity_ && !insertionOrder_.empty()) {
             const std::string fp = std::move(insertionOrder_.front());
@@ -171,7 +226,25 @@ class ResultCache
                 continue;
             }
             entries_.erase(it);
+            ++evictions_;
+            evicted.push_back(fp);
         }
+    }
+
+    /** Deliver eviction notifications outside the lock. */
+    void
+    notifyEvicted(const std::vector<std::string> &evicted)
+    {
+        if (evicted.empty())
+            return;
+        std::function<void(const std::string &)> observer;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            observer = evictionObserver_;
+        }
+        if (observer)
+            for (const std::string &fp : evicted)
+                observer(fp);
     }
 
     std::uint64_t
@@ -188,10 +261,13 @@ class ResultCache
     std::condition_variable ready_;
     std::unordered_map<std::string, EntryPtr> entries_;
     std::deque<std::string> insertionOrder_;
+    std::function<void(const std::string &)> evictionObserver_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t coalesced_ = 0;
     std::uint64_t rejected_ = 0;
+    std::uint64_t seeded_ = 0;
+    std::uint64_t evictions_ = 0;
     std::uint64_t pending_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -71,10 +72,64 @@ echoId(const Value &envelope, Object &response)
         response.emplace("id", *id);
 }
 
+/**
+ * Is a daemon answering on @p addr?  Connect and round-trip a `ping`
+ * with a one-second receive timeout.  "No" only when the connection is
+ * refused or immediately dropped — a bound-but-dead socket.  A busy
+ * daemon that is slow to answer counts as alive (never steal a socket
+ * that something is listening on).
+ */
+bool
+probeAlive(const sockaddr_un &addr)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return true; // cannot prove it dead; err on the safe side
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return false; // nothing accepting: the socket file is stale
+    }
+    const timeval timeout{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    const char ping[] = "{\"type\":\"ping\"}\n";
+    if (::send(fd, ping, sizeof ping - 1, MSG_NOSIGNAL) < 0) {
+        ::close(fd);
+        return false;
+    }
+    char byte;
+    const ssize_t n = ::recv(fd, &byte, 1, 0);
+    ::close(fd);
+    if (n > 0)
+        return true; // something answered
+    // Timed out: a listener exists but is wedged or drowning — still
+    // alive for our purposes.  Only a clean EOF means dead.
+    return !(n == 0);
+}
+
 } // namespace
+
+const char *
+shedModeName(ShedMode mode)
+{
+    switch (mode) {
+      case ShedMode::Full: return "full";
+      case ShedMode::HitOnly: return "hit_only";
+      case ShedMode::Reject: return "reject";
+    }
+    return "?";
+}
 
 Server::Server(const ServeConfig &cfg)
     : cfg_(cfg),
+      shedHitOnlyDepth_(cfg.shedHitOnlyDepth > 0 ? cfg.shedHitOnlyDepth
+                                                 : std::max<std::size_t>(
+                                                       cfg.maxQueue, 1)),
+      shedRejectDepth_(std::max(cfg.shedRejectDepth > 0
+                                    ? cfg.shedRejectDepth
+                                    : 4 * std::max<std::size_t>(cfg.maxQueue,
+                                                                1),
+                                shedHitOnlyDepth_ + 1)),
       cache_(cfg.cacheCapacity > 0 ? cfg.cacheCapacity : 1,
              cfg.maxQueue > 0 ? cfg.maxQueue : 1),
       pool_(resolveJobs(cfg.jobs))
@@ -105,13 +160,48 @@ Server::start(std::string &error)
     std::memcpy(addr.sun_path, cfg_.socketPath.c_str(),
                 cfg_.socketPath.size() + 1);
 
+    // Warm-start from the durable store *before* the socket binds: the
+    // first client a recovered daemon accepts already sees every cell
+    // the previous incarnation computed.
+    if (!cfg_.storeDir.empty()) {
+        ResultStoreConfig storeCfg;
+        storeCfg.dir = cfg_.storeDir;
+        storeCfg.segmentBytes = cfg_.storeSegmentBytes;
+        storeCfg.syncEveryAppend = cfg_.storeSync;
+        store_ = std::make_unique<ResultStore>(storeCfg);
+        if (!store_->open(error)) {
+            store_.reset();
+            return false;
+        }
+        // Observer first: entries the warm start itself displaces (more
+        // journal than cache capacity) get their tombstones journaled.
+        cache_.setEvictionObserver(
+            [this](const std::string &fp) { store_->appendTombstone(fp); });
+        for (const ResultStore::Record &rec : store_->recovered())
+            cache_.seed(rec.fingerprint, rec.payload, rec.failed);
+        if (store_->recoveredCount() > 0)
+            inform("hpe_serve warm-started {} cached results from {} "
+                   "({} torn-tail truncations)",
+                   store_->recoveredCount(), cfg_.storeDir,
+                   store_->tornTruncations());
+    }
+
     listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (listenFd_ < 0) {
         error = strformat("socket(): {}", std::strerror(errno));
         return false;
     }
-    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
-               sizeof(addr)) != 0) {
+    int bound = ::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr));
+    if (bound != 0 && errno == EADDRINUSE && !probeAlive(addr)) {
+        // A dead daemon (crash, SIGKILL) left its socket file behind;
+        // nothing answered the probe, so reclaim the path.
+        inform("hpe_serve reclaiming stale socket {}", cfg_.socketPath);
+        ::unlink(cfg_.socketPath.c_str());
+        bound = ::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr));
+    }
+    if (bound != 0) {
         error = strformat("bind('{}'): {} (is another hpe_serve running? "
                           "remove the stale socket if not)",
                           cfg_.socketPath, std::strerror(errno));
@@ -342,8 +432,32 @@ Server::handleRun(const Value &envelope)
         deadline = std::chrono::steady_clock::now()
                    + std::chrono::milliseconds(deadlineMs);
 
+    // One outstanding-request token per run request, held until the
+    // response is built: together with the cache's pending count this
+    // is the load depth the shed tiers key on.
+    ++outstanding_;
+    struct OutstandingGuard
+    {
+        std::atomic<std::uint64_t> &count;
+        ~OutstandingGuard() { --count; }
+    } outstandingGuard{outstanding_};
+
+    const std::size_t depth =
+        static_cast<std::size_t>(outstanding_.load())
+        + static_cast<std::size_t>(cache_.pending());
+    const ShedMode mode = updateShedMode(depth);
+    if (mode == ShedMode::Reject) {
+        ++shedRejections_;
+        ++errors_;
+        return errorResponse(
+            strformat("shedding load (mode reject, depth {}): retry later",
+                      depth),
+            100 * depth);
+    }
+
     const std::string fingerprint = req->fingerprint();
-    const ResultCache::Acquisition acq = cache_.acquire(fingerprint);
+    const ResultCache::Acquisition acq =
+        cache_.acquire(fingerprint, mode == ShedMode::Full);
 
     bool cached = false;
     bool coalesced = false;
@@ -352,6 +466,14 @@ Server::handleRun(const Value &envelope)
         ++errors_;
         // Hint: one average service time per queued computation ahead.
         const std::uint64_t retry = 100 * (1 + cache_.pending());
+        if (mode == ShedMode::HitOnly) {
+            ++shedColdRejections_;
+            return errorResponse(
+                strformat("shedding load (mode hit_only, depth {}): only "
+                          "cached and in-flight fingerprints are admitted",
+                          depth),
+                retry);
+        }
         return errorResponse(
             strformat("saturated: {} computations queued or running",
                       cache_.pending()),
@@ -366,7 +488,7 @@ Server::handleRun(const Value &envelope)
       case ResultCache::Role::Compute: {
         const api::ExperimentRequest run = *req;
         const ResultCache::EntryPtr entry = acq.entry;
-        pool_.post([this, run, entry] {
+        pool_.post([this, run, entry, fingerprint] {
             ++running_;
             std::string payload;
             bool failed = false;
@@ -380,6 +502,10 @@ Server::handleRun(const Value &envelope)
                 failed = true;
             }
             --running_;
+            // Journal before publishing: a result is never visible to a
+            // waiter without being durable first (write-ahead order).
+            if (store_ != nullptr)
+                store_->append(fingerprint, payload, failed);
             cache_.complete(entry, std::move(payload), failed);
         });
         break;
@@ -413,6 +539,24 @@ Server::handleRun(const Value &envelope)
     return Value(std::move(response)).dump();
 }
 
+ShedMode
+Server::updateShedMode(std::size_t depth)
+{
+    // Thresholds are exclusive: full service while depth <= hit-only
+    // threshold.  The depth includes the current request's own
+    // outstanding token, so an inclusive compare would let a
+    // --max-queue=1 daemon shed every cold request even when idle.
+    ShedMode mode = ShedMode::Full;
+    if (depth > shedRejectDepth_)
+        mode = ShedMode::Reject;
+    else if (depth > shedHitOnlyDepth_)
+        mode = ShedMode::HitOnly;
+    const int previous = shedMode_.exchange(static_cast<int>(mode));
+    if (previous != static_cast<int>(mode))
+        ++shedTransitions_;
+    return mode;
+}
+
 std::string
 Server::statsJson()
 {
@@ -428,26 +572,63 @@ Server::statsJson()
     stats.counter("serve.cache.coalesced") += cache_.coalesced();
     stats.counter("serve.cache.rejected") += cache_.rejected();
     stats.counter("serve.cache.entries") += cache_.size();
+    stats.counter("serve.cache.seeded") += cache_.seeded();
+    stats.counter("serve.cache.evictions") += cache_.evictions();
     stats.counter("serve.queue.depth") += cache_.pending();
     stats.counter("serve.jobs.in_flight") += running_.load();
+    stats.counter("serve.shed.transitions") += shedTransitions_.load();
+    stats.counter("serve.shed.cold_rejections") += shedColdRejections_.load();
+    stats.counter("serve.shed.rejections") += shedRejections_.load();
+    if (store_ != nullptr) {
+        stats.counter("serve.store.appends") += store_->appendCount();
+        stats.counter("serve.store.tombstones") += store_->tombstoneCount();
+        stats.counter("serve.store.recovered") += store_->recoveredCount();
+        stats.counter("serve.store.torn_truncations") +=
+            store_->tornTruncations();
+        stats.counter("serve.store.compactions") += store_->compactions();
+        stats.counter("serve.store.segments") += store_->segmentCount();
+        stats.counter("serve.store.live") += store_->liveCount();
+    }
     std::ostringstream csv;
     stats.dumpCsv(csv);
 
-    return Value(Object{
-                     {"cache_entries", cache_.size()},
-                     {"cache_hits", cache_.hits()},
-                     {"cache_misses", cache_.misses()},
-                     {"coalesced", cache_.coalesced()},
-                     {"connections", connectionsTotal_.load()},
-                     {"errors", errors_.load()},
-                     {"in_flight", running_.load()},
-                     {"jobs", pool_.threads()},
-                     {"queue_depth", cache_.pending()},
-                     {"rejected", cache_.rejected()},
-                     {"served", served_.load()},
-                     {"stats_csv", std::move(csv).str()},
-                 })
-        .dump();
+    Object body{
+        {"cache_entries", cache_.size()},
+        {"cache_evictions", cache_.evictions()},
+        {"cache_hits", cache_.hits()},
+        {"cache_misses", cache_.misses()},
+        {"cache_seeded", cache_.seeded()},
+        {"coalesced", cache_.coalesced()},
+        {"connections", connectionsTotal_.load()},
+        {"errors", errors_.load()},
+        {"in_flight", running_.load()},
+        {"jobs", pool_.threads()},
+        {"outstanding", outstanding_.load()},
+        {"queue_depth", cache_.pending()},
+        {"rejected", cache_.rejected()},
+        {"served", served_.load()},
+        {"shed_cold_rejections", shedColdRejections_.load()},
+        {"shed_hit_only_depth", static_cast<std::uint64_t>(shedHitOnlyDepth_)},
+        {"shed_mode", shedModeName(shedMode())},
+        {"shed_reject_depth", static_cast<std::uint64_t>(shedRejectDepth_)},
+        {"shed_rejections", shedRejections_.load()},
+        {"shed_transitions", shedTransitions_.load()},
+        {"stats_csv", std::move(csv).str()},
+    };
+    if (store_ != nullptr)
+        body.emplace("store",
+                     Object{
+                         {"appends", store_->appendCount()},
+                         {"compactions", store_->compactions()},
+                         {"dir", cfg_.storeDir},
+                         {"healthy", store_->healthy()},
+                         {"live", store_->liveCount()},
+                         {"recovered", store_->recoveredCount()},
+                         {"segments", store_->segmentCount()},
+                         {"tombstones", store_->tombstoneCount()},
+                         {"torn_truncations", store_->tornTruncations()},
+                     });
+    return Value(std::move(body)).dump();
 }
 
 } // namespace hpe::serve

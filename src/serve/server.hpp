@@ -21,17 +21,30 @@
  *
  *  - computations are scheduled onto the shared ThreadPool (post());
  *    parallelism defaults to resolveJobs() like every other consumer;
- *  - admission control: at most `maxQueue` computations may be queued or
- *    running; beyond that, *new* work is rejected with a retry_after_ms
- *    hint (cache hits and coalesced waits are always admitted);
+ *  - durability: with a store directory configured, every completed
+ *    result is journaled to a ResultStore *before* waiters see it, and
+ *    start() warm-starts the cache from the journal before the socket
+ *    binds — a restarted daemon answers previously computed cells as
+ *    cache hits with byte-identical payloads;
+ *  - tiered load shedding: admission degrades through modes driven by
+ *    load depth (queued/running computations + outstanding run
+ *    requests) — full service, then hit-and-coalesce-only (new
+ *    fingerprints rejected with a retry_after_ms hint while cached and
+ *    in-flight work still answers), then reject (every run request
+ *    sheds; ping/stats always answer).  The current mode, transition
+ *    count, and per-mode shed counters surface in `stats`;
  *  - per-request deadlines: a waiter whose deadline passes gets a
  *    deadline_exceeded error; the computation itself continues and lands
  *    in the cache for the retry;
+ *  - stale-socket recovery: when the socket path is already bound,
+ *    start() probes it with a `ping`; a dead daemon's leftover socket
+ *    is unlinked and rebound, a live daemon keeps the bind error;
  *  - graceful drain: SIGTERM/SIGINT (via installSignalHandlers) or a
  *    `shutdown` request stop the accept loop, let every in-flight
  *    request finish and its response flush, then tear the socket down;
- *  - observability: a `stats` request surfaces the cache/queue counters
- *    both as JSON and as a StatRegistry CSV dump (the PR-3 machinery).
+ *  - observability: a `stats` request surfaces the cache/queue/shed/
+ *    store counters both as JSON and as a StatRegistry CSV dump (the
+ *    PR-3 machinery).
  */
 
 #pragma once
@@ -48,6 +61,7 @@
 #include "api/json.hpp"
 #include "common/thread_pool.hpp"
 #include "serve/result_cache.hpp"
+#include "serve/result_store.hpp"
 
 namespace hpe::serve {
 
@@ -64,7 +78,25 @@ struct ServeConfig
     std::size_t cacheCapacity = 1024;
     /** Deadline applied to requests that carry none; 0 = unbounded. */
     std::uint64_t defaultDeadlineMs = 0;
+    /** Durable result-store directory; empty = memory-only daemon. */
+    std::string storeDir;
+    /** Journal segment rotation threshold (bytes). */
+    std::size_t storeSegmentBytes = 4u << 20;
+    /** fdatasync every journal append (power-loss durability). */
+    bool storeSync = false;
+    /** Load depth (exclusive) beyond which shedding enters
+     *  hit-and-coalesce-only mode; 0 = derive (maxQueue). */
+    std::size_t shedHitOnlyDepth = 0;
+    /** Load depth (exclusive) beyond which shedding rejects every run
+     *  request; 0 = derive (4 * maxQueue). */
+    std::size_t shedRejectDepth = 0;
 };
+
+/** The admission tiers of the load-shedding path, mildest first. */
+enum class ShedMode { Full = 0, HitOnly = 1, Reject = 2 };
+
+/** Wire-visible name of a shed mode ("full" / "hit_only" / "reject"). */
+const char *shedModeName(ShedMode mode);
 
 /** The daemon; construct, start(), wait(), stop().  See file comment. */
 class Server
@@ -110,8 +142,17 @@ class Server
 
     const ServeConfig &config() const { return cfg_; }
     ResultCache &cache() { return cache_; }
+    /** The durable store; nullptr when running memory-only. */
+    ResultStore *store() { return store_.get(); }
     /** Resolved worker parallelism. */
     unsigned jobs() const { return pool_.threads(); }
+    /** The shed mode the last admission decision ran under. */
+    ShedMode shedMode() const
+    {
+        return static_cast<ShedMode>(shedMode_.load());
+    }
+    /** Times the shed mode changed (any direction). */
+    std::uint64_t shedTransitions() const { return shedTransitions_.load(); }
 
   private:
     void acceptLoop();
@@ -119,10 +160,17 @@ class Server
     /** Handle one request line; @return the response line (no '\n'). */
     std::string handleLine(const std::string &line);
     std::string handleRun(const api::json::Value &envelope);
+    /** Current shed mode for @p depth, recording transitions. */
+    ShedMode updateShedMode(std::size_t depth);
 
     ServeConfig cfg_;
-    // cache_ before pool_: ~ThreadPool joins in-flight tasks, which call
-    // cache_.complete() — the cache must be destroyed after the pool.
+    /** Resolved shedding thresholds (see ServeConfig). */
+    std::size_t shedHitOnlyDepth_;
+    std::size_t shedRejectDepth_;
+    // store_ before cache_ before pool_: ~ThreadPool joins in-flight
+    // tasks, which append to the store and call cache_.complete() — both
+    // must be destroyed after the pool.
+    std::unique_ptr<ResultStore> store_;
     ResultCache cache_;
     ThreadPool pool_;
 
@@ -148,6 +196,15 @@ class Server
     std::atomic<std::uint64_t> errors_{0};
     std::atomic<std::uint64_t> connectionsTotal_{0};
     std::atomic<std::uint64_t> running_{0};
+    /** Run requests admitted and not yet answered (the load gauge the
+     *  shed tiers key on, together with the cache's pending count). */
+    std::atomic<std::uint64_t> outstanding_{0};
+    std::atomic<int> shedMode_{0};
+    std::atomic<std::uint64_t> shedTransitions_{0};
+    /** Cold fingerprints shed in hit-and-coalesce-only mode. */
+    std::atomic<std::uint64_t> shedColdRejections_{0};
+    /** Run requests shed outright in reject mode. */
+    std::atomic<std::uint64_t> shedRejections_{0};
 };
 
 } // namespace hpe::serve

@@ -1,21 +1,31 @@
 /**
  * @file
  * Tests for the hpe_serve daemon: the ResultCache protocol (coalescing,
- * admission control, eviction), and in-process socket round trips —
- * request/response framing, content-addressed cache hits with identical
- * bytes, error responses that never kill the daemon, stats counters, and
- * graceful shutdown.
+ * admission control, eviction, warm-start seeding), and in-process
+ * socket round trips — request/response framing, content-addressed
+ * cache hits with identical bytes, error responses that never kill the
+ * daemon, stats counters, tiered load shedding, store-backed restart
+ * warm hits, stale-socket reclamation, and graceful shutdown.
+ * (The ResultStore journal itself is covered in test_store.cpp.)
  */
 
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "api/json.hpp"
 #include "serve/client.hpp"
 #include "serve/result_cache.hpp"
+#include "serve/result_store.hpp"
 #include "serve/server.hpp"
 
 namespace hpe::serve {
@@ -127,6 +137,105 @@ TEST(ResultCache, FailedComputationsAreCachedAsFailures)
     const auto hit = cache.acquire("fp");
     EXPECT_EQ(hit.role, ResultCache::Role::Hit);
     EXPECT_TRUE(hit.entry->failed);
+}
+
+TEST(ResultCache, CapacityOneKeepsExactlyTheNewestCompletedEntry)
+{
+    ResultCache cache(1, 4);
+    cache.complete(cache.acquire("a").entry, "a");
+    cache.complete(cache.acquire("b").entry, "b");
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.acquire("b").role, ResultCache::Role::Hit);
+    EXPECT_EQ(cache.acquire("a").role, ResultCache::Role::Compute);
+    EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ResultCache, EvictionPressureWithPendingEntriesEvictsOnlyCompleted)
+{
+    ResultCache cache(2, 8);
+    // Two pending entries occupy the cache...
+    const auto p1 = cache.acquire("p1");
+    const auto p2 = cache.acquire("p2");
+    // ...and a stream of completions overflows capacity repeatedly.
+    for (const char *fp : {"c1", "c2", "c3"})
+        cache.complete(cache.acquire(fp).entry, fp);
+    // Only completed entries were evicted; both pending survive.
+    EXPECT_EQ(cache.acquire("p1").role, ResultCache::Role::Wait);
+    EXPECT_EQ(cache.acquire("p2").role, ResultCache::Role::Wait);
+    cache.complete(p1.entry, "done1");
+    cache.complete(p2.entry, "done2");
+    EXPECT_EQ(cache.acquire("p2").role, ResultCache::Role::Hit);
+}
+
+TEST(ResultCache, FailedResultEvictedThenReadmittedAsFreshComputation)
+{
+    ResultCache cache(1, 4);
+    cache.complete(cache.acquire("flaky").entry, "boom", true);
+    const auto failedHit = cache.acquire("flaky");
+    ASSERT_EQ(failedHit.role, ResultCache::Role::Hit);
+    EXPECT_TRUE(failedHit.entry->failed);
+
+    // Push the failed entry out, then ask again: a fresh computation,
+    // not a stale failure.
+    cache.complete(cache.acquire("pusher").entry, "fine");
+    const auto retry = cache.acquire("flaky");
+    ASSERT_EQ(retry.role, ResultCache::Role::Compute);
+    cache.complete(retry.entry, "recovered");
+    EXPECT_FALSE(cache.acquire("flaky").entry->failed);
+}
+
+TEST(ResultCache, AdmitNewFalseRejectsOnlyUnknownFingerprints)
+{
+    ResultCache cache(8, 4);
+    cache.complete(cache.acquire("done").entry, "ready");
+    const auto inflight = cache.acquire("inflight");
+
+    // Hit-and-coalesce mode: known fingerprints answer as usual...
+    EXPECT_EQ(cache.acquire("done", false).role, ResultCache::Role::Hit);
+    EXPECT_EQ(cache.acquire("inflight", false).role, ResultCache::Role::Wait);
+    // ...an unknown one is rejected without consuming a pending slot.
+    const std::uint64_t pendingBefore = cache.pending();
+    EXPECT_EQ(cache.acquire("unknown", false).role,
+              ResultCache::Role::Rejected);
+    EXPECT_EQ(cache.pending(), pendingBefore);
+    cache.complete(inflight.entry, "done");
+}
+
+TEST(ResultCache, SeedWarmStartsWithoutCountingHitsOrMisses)
+{
+    ResultCache cache(2, 4);
+    cache.seed("warm", "from-journal");
+    EXPECT_EQ(cache.seeded(), 1u);
+    EXPECT_EQ(cache.misses(), 0u);
+
+    const auto hit = cache.acquire("warm");
+    ASSERT_EQ(hit.role, ResultCache::Role::Hit);
+    EXPECT_EQ(hit.entry->payload, "from-journal");
+
+    // An existing entry wins over a later seed (live state beats the
+    // journal)...
+    cache.seed("warm", "stale-journal");
+    EXPECT_EQ(cache.acquire("warm").entry->payload, "from-journal");
+    // ...and seeding respects capacity: the oldest entry is evicted.
+    cache.seed("w2", "p2");
+    cache.seed("w3", "p3");
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.acquire("warm").role, ResultCache::Role::Compute);
+}
+
+TEST(ResultCache, EvictionObserverSeesEveryEvictedFingerprint)
+{
+    ResultCache cache(1, 4);
+    std::vector<std::string> observed;
+    cache.setEvictionObserver(
+        [&](const std::string &fp) { observed.push_back(fp); });
+    cache.complete(cache.acquire("a").entry, "a");
+    cache.complete(cache.acquire("b").entry, "b");
+    cache.seed("c", "c");
+    ASSERT_EQ(observed.size(), 2u);
+    EXPECT_EQ(observed[0], "a");
+    EXPECT_EQ(observed[1], "b");
+    EXPECT_EQ(cache.evictions(), 2u);
 }
 
 // ------------------------------------------------------------- the daemon
@@ -314,7 +423,9 @@ TEST(Serve, SaturatedDaemonRejectsWithRetryHint)
 
     const Value rejected = ts.roundTrip(runRequest());
     EXPECT_FALSE(rejected.find("ok")->asBool());
-    EXPECT_NE(rejected.find("error")->asString().find("saturated"),
+    // The held slot pushes the load depth past the hit-only threshold,
+    // so the cold fingerprint is shed (tiered shedding, PR 6).
+    EXPECT_NE(rejected.find("error")->asString().find("shedding load"),
               std::string::npos);
     ASSERT_NE(rejected.find("retry_after_ms"), nullptr);
     EXPECT_GT(rejected.find("retry_after_ms")->asUint(), 0u);
@@ -332,6 +443,191 @@ TEST(Serve, StartFailsCleanlyOnUnusableSocketPath)
     std::string error;
     EXPECT_FALSE(server.start(error));
     EXPECT_NE(error.find("bind"), std::string::npos);
+}
+
+// -------------------------------------------- shedding, durability, sockets
+
+/** A cold run request nothing else submits (seed varies the fingerprint). */
+std::string
+coldRequest(std::uint64_t seed)
+{
+    return R"({"type":"run","request":{"app":"STN","policy":"LRU",)"
+           R"("functional":true,"scale":0.1,"trace_digest":true,"seed":)"
+           + std::to_string(seed) + "}}";
+}
+
+TEST(Serve, ShedTiersDegradeUnderDepthAndRecoverWhenItDrains)
+{
+    ServeConfig cfg;
+    cfg.socketPath = ::testing::TempDir() + "/hpe_shed.sock";
+    cfg.maxQueue = 8;
+    cfg.shedHitOnlyDepth = 2;
+    cfg.shedRejectDepth = 4;
+    Server server(cfg);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    auto roundTrip = [&](const std::string &request) {
+        std::string response, err;
+        EXPECT_TRUE(submitLine(cfg.socketPath, request, response, err)) << err;
+        return api::json::parse(response).value_or(Value{});
+    };
+
+    // Prime the cache while the daemon is idle (depth 1 <= 2: full).
+    ASSERT_TRUE(roundTrip(runRequest()).find("ok")->asBool());
+    EXPECT_EQ(server.shedMode(), ShedMode::Full);
+
+    // Hold two computation slots: depth = 1 + 2 = 3 > 2 -> hit_only.
+    const auto h1 = server.cache().acquire("hold-1");
+    const auto h2 = server.cache().acquire("hold-2");
+    const Value cold = roundTrip(coldRequest(777));
+    EXPECT_FALSE(cold.find("ok")->asBool());
+    EXPECT_NE(cold.find("error")->asString().find("hit_only"),
+              std::string::npos);
+    ASSERT_NE(cold.find("retry_after_ms"), nullptr);
+    EXPECT_GT(cold.find("retry_after_ms")->asUint(), 0u);
+    // The cached fingerprint still answers in hit_only mode.
+    const Value warm = roundTrip(runRequest());
+    EXPECT_TRUE(warm.find("ok")->asBool());
+    EXPECT_TRUE(warm.find("cached")->asBool());
+
+    // Two more holds: depth = 1 + 4 = 5 > 4 -> reject, even for hits.
+    const auto h3 = server.cache().acquire("hold-3");
+    const auto h4 = server.cache().acquire("hold-4");
+    const Value rejected = roundTrip(runRequest());
+    EXPECT_FALSE(rejected.find("ok")->asBool());
+    EXPECT_NE(rejected.find("error")->asString().find("reject"),
+              std::string::npos);
+    EXPECT_EQ(server.shedMode(), ShedMode::Reject);
+
+    const Value stats = roundTrip(R"({"type":"stats"})");
+    const Value *body = stats.find("stats");
+    ASSERT_NE(body, nullptr);
+    EXPECT_EQ(body->find("shed_mode")->asString(), "reject");
+    EXPECT_GE(body->find("shed_transitions")->asUint(), 2u);
+    EXPECT_GE(body->find("shed_cold_rejections")->asUint(), 1u);
+    EXPECT_GE(body->find("shed_rejections")->asUint(), 1u);
+
+    // Drain the holds: the next request is served in full mode again.
+    for (const auto &hold : {h1, h2, h3, h4})
+        server.cache().complete(hold.entry, "freed");
+    EXPECT_TRUE(roundTrip(runRequest()).find("ok")->asBool());
+    EXPECT_EQ(server.shedMode(), ShedMode::Full);
+    server.stop();
+}
+
+TEST(Serve, StoreBackedRestartServesWarmHitsWithIdenticalBytes)
+{
+    ServeConfig cfg;
+    cfg.socketPath = ::testing::TempDir() + "/hpe_warm.sock";
+    cfg.storeDir = ::testing::TempDir() + "/hpe_warm_store";
+    std::filesystem::remove_all(cfg.storeDir);
+
+    std::string firstResult, fingerprint;
+    {
+        Server server(cfg);
+        std::string error;
+        ASSERT_TRUE(server.start(error)) << error;
+        std::string response, err;
+        ASSERT_TRUE(submitLine(cfg.socketPath, runRequest(), response, err))
+            << err;
+        const Value v = api::json::parse(response).value_or(Value{});
+        ASSERT_TRUE(v.find("ok")->asBool());
+        EXPECT_FALSE(v.find("cached")->asBool());
+        firstResult = v.find("result")->dump();
+        fingerprint = v.find("fingerprint")->asString();
+        ASSERT_NE(server.store(), nullptr);
+        EXPECT_EQ(server.store()->appendCount(), 1u);
+        server.stop();
+    }
+
+    // A new daemon over the same store directory answers the same
+    // request as a warm cache hit with byte-identical result payload —
+    // without recomputing anything.
+    Server server(cfg);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    ASSERT_NE(server.store(), nullptr);
+    EXPECT_EQ(server.store()->recoveredCount(), 1u);
+    EXPECT_EQ(server.cache().seeded(), 1u);
+
+    std::string response, err;
+    ASSERT_TRUE(submitLine(cfg.socketPath, runRequest(), response, err))
+        << err;
+    const Value v = api::json::parse(response).value_or(Value{});
+    ASSERT_TRUE(v.find("ok")->asBool());
+    EXPECT_TRUE(v.find("cached")->asBool());
+    EXPECT_EQ(v.find("result")->dump(), firstResult);
+    EXPECT_EQ(v.find("fingerprint")->asString(), fingerprint);
+    EXPECT_EQ(server.cache().misses(), 0u);
+    server.stop();
+}
+
+TEST(Serve, FailedResultsSurviveRestartAsCachedFailures)
+{
+    ServeConfig cfg;
+    cfg.socketPath = ::testing::TempDir() + "/hpe_warmfail.sock";
+    cfg.storeDir = ::testing::TempDir() + "/hpe_warmfail_store";
+    std::filesystem::remove_all(cfg.storeDir);
+
+    // Journal a failed computation directly (the daemon does this for
+    // experiments that throw), then boot a daemon over it.
+    {
+        ResultStoreConfig storeCfg;
+        storeCfg.dir = cfg.storeDir;
+        ResultStore store(storeCfg);
+        std::string error;
+        ASSERT_TRUE(store.open(error)) << error;
+        store.append("fail-fp", "experiment failed: boom", true);
+    }
+    Server server(cfg);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    const auto hit = server.cache().acquire("fail-fp");
+    ASSERT_EQ(hit.role, ResultCache::Role::Hit);
+    EXPECT_TRUE(hit.entry->failed);
+    EXPECT_EQ(hit.entry->payload, "experiment failed: boom");
+    server.stop();
+}
+
+TEST(Serve, StaleSocketIsReclaimedOnStart)
+{
+    const std::string path = ::testing::TempDir() + "/hpe_stale.sock";
+    ::unlink(path.c_str());
+    // Fake a crashed daemon: a bound socket file with no listener behind
+    // it (bind creates the file; closing the fd does not remove it).
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", path.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                     sizeof addr),
+              0);
+    ::close(fd);
+
+    ServeConfig cfg;
+    cfg.socketPath = path;
+    Server server(cfg);
+    std::string error;
+    // start() probes the socket, finds nobody home, reclaims the path.
+    ASSERT_TRUE(server.start(error)) << error;
+    std::string response, err;
+    EXPECT_TRUE(submitLine(path, R"({"type":"ping"})", response, err)) << err;
+    server.stop();
+}
+
+TEST(Serve, LiveDaemonSocketIsNeverStolen)
+{
+    TestServer ts("live");
+    Server second(ts.cfg);
+    std::string error;
+    // The probe pings the live daemon, gets an answer, and keeps the
+    // bind error instead of unlinking a working socket.
+    EXPECT_FALSE(second.start(error));
+    EXPECT_NE(error.find("bind"), std::string::npos);
+    // The original daemon is untouched.
+    EXPECT_TRUE(ts.roundTrip(R"({"type":"ping"})").find("ok")->asBool());
 }
 
 } // namespace

@@ -4,14 +4,15 @@
 #   1. the served digest is byte-identical to ci/golden/HSD_HPE.digest
 #      (the same bytes `hpe_sim run` and the sweep produce),
 #   2. an identical re-submit is answered from the result cache,
-#   3. a `shutdown` request drains the daemon to a clean exit 0.
+#   3. a `shutdown` request drains the daemon to a clean exit 0,
+#   4. a restarted daemon over the same --store-dir serves the cell as a
+#      warm cache hit with the same digest (durability).
 #
 # Usage: tools/daemon_smoke.sh [path-to-hpe_sim]   (default: build/tools/hpe_sim)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 HPE_SIM="${1:-build/tools/hpe_sim}"
-SOCK="$(mktemp -u /tmp/hpe_smoke.XXXXXX.sock)"
 GOLDEN="ci/golden/HSD_HPE.digest"
 CELL=(--app HSD --policy HPE --functional --scale 0.1 --seed 1 --trace-digest)
 
@@ -20,16 +21,33 @@ fail() { echo "daemon smoke: $*" >&2; exit 1; }
 [ -x "$HPE_SIM" ] || fail "$HPE_SIM not built"
 [ -f "$GOLDEN" ] || fail "$GOLDEN missing"
 
-"$HPE_SIM" serve --socket "$SOCK" &
-SERVE_PID=$!
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+# Everything lives in one private temp dir (mktemp -d is atomic, unlike
+# the old `mktemp -u` name reservation), and the trap tears down both
+# the daemon and the dir on every exit path — no leaked daemons, no
+# leaked sockets.
+TMPDIR_SMOKE="$(mktemp -d /tmp/hpe_smoke.XXXXXX)"
+SOCK="$TMPDIR_SMOKE/daemon.sock"
+STORE="$TMPDIR_SMOKE/store"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$TMPDIR_SMOKE"
+}
+trap cleanup EXIT
 
-# Wait for the socket to appear (the daemon binds before accepting).
-for _ in $(seq 1 50); do
-    [ -S "$SOCK" ] && break
-    sleep 0.1
-done
-[ -S "$SOCK" ] || fail "daemon did not create $SOCK"
+start_daemon() {
+    "$HPE_SIM" serve --socket "$SOCK" --store-dir "$STORE" &
+    SERVE_PID=$!
+    # Wait for the socket to appear (the daemon binds before accepting).
+    for _ in $(seq 1 100); do
+        [ -S "$SOCK" ] && return 0
+        sleep 0.1
+    done
+    fail "daemon did not create $SOCK"
+}
+
+start_daemon
 
 # 1. First submit computes; its digest must match the checked-in golden.
 first="$("$HPE_SIM" submit --socket "$SOCK" "${CELL[@]}")"
@@ -55,8 +73,21 @@ echo "$stats" | grep -q '"cache_misses":1' || fail "expected one cache miss: $st
 # 3. Graceful shutdown: the daemon drains and exits 0.
 "$HPE_SIM" submit --socket "$SOCK" --type shutdown >/dev/null
 wait "$SERVE_PID" || fail "daemon exited non-zero"
-trap - EXIT
-rm -f "$SOCK"
+SERVE_PID=""
 [ ! -S "$SOCK" ] || fail "socket file survived shutdown"
 
-echo "daemon smoke: digest match, cache hit, clean shutdown"
+# 4. Durability: a fresh daemon over the same store directory answers the
+# same cell as a warm cache hit — no recomputation — with the same digest.
+start_daemon
+warm="$("$HPE_SIM" submit --socket "$SOCK" "${CELL[@]}")"
+echo "$warm" | grep -q '"cached":true' || fail "restart missed the store: $warm"
+echo "$warm" | grep -q "\"trace_digest\":\"$digest\"" \
+    || fail "warm digest differs: $warm"
+stats="$("$HPE_SIM" submit --socket "$SOCK" --type stats)"
+echo "$stats" | grep -q '"cache_misses":0' \
+    || fail "restart recomputed instead of warm-starting: $stats"
+"$HPE_SIM" submit --socket "$SOCK" --type shutdown >/dev/null
+wait "$SERVE_PID" || fail "restarted daemon exited non-zero"
+SERVE_PID=""
+
+echo "daemon smoke: digest match, cache hit, clean shutdown, warm restart"
