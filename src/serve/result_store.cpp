@@ -4,10 +4,12 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -125,6 +127,14 @@ std::string
 ResultStore::encodeFrame(const std::string &fingerprint,
                          const std::string &payload, std::uint8_t flags)
 {
+    // The frame header stores both lengths as u32: longer sections
+    // would encode truncated lengths and replay as a torn frame,
+    // discarding every frame after them.
+    constexpr std::size_t kMaxSection =
+        std::numeric_limits<std::uint32_t>::max();
+    HPE_ASSERT(fingerprint.size() <= kMaxSection
+                   && payload.size() <= kMaxSection,
+               "frame section exceeds the u32 length field");
     std::string frame;
     frame.reserve(frameSize(fingerprint.size(), payload.size()));
     frame.append(kMagic, sizeof kMagic);
@@ -166,6 +176,25 @@ ResultStore::openLocked(std::string &error)
         return false;
     }
 
+    // Exclusive directory lock *before* the first read: replay
+    // truncates torn tails and may compact, and doing either under a
+    // live owner would destroy its journal.  Fail fast with the store
+    // untouched instead.
+    const std::string lockPath = cfg_.dir + "/LOCK";
+    lockFd_ = ::open(lockPath.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
+    if (lockFd_ < 0) {
+        error = strformat("open('{}'): {}", lockPath, std::strerror(errno));
+        return false;
+    }
+    if (::flock(lockFd_, LOCK_EX | LOCK_NB) != 0) {
+        error = strformat("store directory '{}' is locked (is another "
+                          "hpe_serve already serving this store?)",
+                          cfg_.dir);
+        ::close(lockFd_);
+        lockFd_ = -1;
+        return false;
+    }
+
     // Scan for existing segments, ascending sequence order.
     DIR *dir = ::opendir(cfg_.dir.c_str());
     if (dir == nullptr) {
@@ -200,6 +229,7 @@ ResultStore::openLocked(std::string &error)
                   return live_.at(a.fingerprint).lastWrite
                          < live_.at(b.fingerprint).lastWrite;
               });
+    recoveredCount_ = recovered_.size();
 
     const std::uint64_t nextSeq =
         segments_.empty() ? 1 : segments_.back() + 1;
@@ -340,6 +370,17 @@ ResultStore::append(const std::string &fingerprint,
     std::lock_guard<std::mutex> lock(mutex_);
     if (!opened_ || !healthy_)
         return;
+    constexpr std::size_t kMaxSection =
+        std::numeric_limits<std::uint32_t>::max();
+    if (fingerprint.size() > kMaxSection || payload.size() > kMaxSection) {
+        // A section longer than the u32 length field would journal a
+        // frame that replays as torn and truncates everything after it.
+        // Serve it memory-only instead.
+        warn("result store: not journaling '{}' ({} payload bytes exceed "
+             "the frame limit); the result is served but not durable",
+             fingerprint.substr(0, 64), payload.size());
+        return;
+    }
     ++appends_;
     appendFrame(fingerprint, payload,
                 failed ? kFlagFailed : std::uint8_t{0});
@@ -498,7 +539,19 @@ ResultStore::closeLocked()
         ::close(activeFd_);
         activeFd_ = -1;
     }
+    if (lockFd_ >= 0) {
+        ::close(lockFd_); // releases the flock
+        lockFd_ = -1;
+    }
     opened_ = false;
+}
+
+void
+ResultStore::releaseRecovered()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    recovered_.clear();
+    recovered_.shrink_to_fit();
 }
 
 std::uint64_t
@@ -519,7 +572,7 @@ std::uint64_t
 ResultStore::recoveredCount() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return recovered_.size();
+    return recoveredCount_;
 }
 
 std::uint64_t

@@ -28,6 +28,11 @@
  * one) and deletes the superseded ones.  All methods are thread-safe;
  * an append failure (disk full, directory removed) degrades the store
  * to memory-only with a warning rather than killing the daemon.
+ *
+ * open() takes an exclusive flock(2) on `<dir>/LOCK` before reading a
+ * byte, so a second process pointed at the same directory fails fast
+ * instead of misreading the owner's in-flight append as a torn tail
+ * and truncating (or compacting away) a live journal.
  */
 
 #pragma once
@@ -87,8 +92,15 @@ class ResultStore
     void close();
 
     /** The live records recovery produced, in last-write order
-     *  (oldest first) — the cache warm-start order. */
+     *  (oldest first) — the cache warm-start order.  Empty after
+     *  releaseRecovered(). */
     const std::vector<Record> &recovered() const { return recovered_; }
+
+    /** Drop the recovery snapshot once the cache has been seeded — the
+     *  payloads otherwise stay resident for the daemon's lifetime on
+     *  top of live_'s and the cache's copies.  recoveredCount() keeps
+     *  reporting how many records recovery produced. */
+    void releaseRecovered();
 
     /** Append one completed result; called on computation completion. */
     void append(const std::string &fingerprint, const std::string &payload,
@@ -169,6 +181,8 @@ class ResultStore
     mutable std::mutex mutex_;
     bool opened_ = false;
     bool healthy_ = true;
+    /** Holds the exclusive flock on `<dir>/LOCK` while open. */
+    int lockFd_ = -1;
     int activeFd_ = -1;
     std::uint64_t activeSeq_ = 0;
     std::size_t activeBytes_ = 0;
@@ -181,6 +195,8 @@ class ResultStore
     std::uint64_t deadFrames_ = 0;
 
     std::vector<Record> recovered_;
+    /** recovered_.size() at open(); survives releaseRecovered(). */
+    std::uint64_t recoveredCount_ = 0;
 
     std::uint64_t appends_ = 0;
     std::uint64_t tombstones_ = 0;

@@ -160,32 +160,13 @@ Server::start(std::string &error)
     std::memcpy(addr.sun_path, cfg_.socketPath.c_str(),
                 cfg_.socketPath.size() + 1);
 
-    // Warm-start from the durable store *before* the socket binds: the
-    // first client a recovered daemon accepts already sees every cell
-    // the previous incarnation computed.
-    if (!cfg_.storeDir.empty()) {
-        ResultStoreConfig storeCfg;
-        storeCfg.dir = cfg_.storeDir;
-        storeCfg.segmentBytes = cfg_.storeSegmentBytes;
-        storeCfg.syncEveryAppend = cfg_.storeSync;
-        store_ = std::make_unique<ResultStore>(storeCfg);
-        if (!store_->open(error)) {
-            store_.reset();
-            return false;
-        }
-        // Observer first: entries the warm start itself displaces (more
-        // journal than cache capacity) get their tombstones journaled.
-        cache_.setEvictionObserver(
-            [this](const std::string &fp) { store_->appendTombstone(fp); });
-        for (const ResultStore::Record &rec : store_->recovered())
-            cache_.seed(rec.fingerprint, rec.payload, rec.failed);
-        if (store_->recoveredCount() > 0)
-            inform("hpe_serve warm-started {} cached results from {} "
-                   "({} torn-tail truncations)",
-                   store_->recoveredCount(), cfg_.storeDir,
-                   store_->tornTruncations());
-    }
-
+    // Bind — the daemon's mutual-exclusion point — *before* the store
+    // is touched: a second daemon racing a live one must fail fast
+    // while the live daemon's journal is untouched (replay truncates
+    // torn tails and may compact; doing either under a live owner
+    // would destroy its journal).  Clients cannot connect until
+    // listen(), so the warm start below still finishes before the
+    // first request is accepted.
     listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (listenFd_ < 0) {
         error = strformat("socket(): {}", std::strerror(errno));
@@ -209,18 +190,51 @@ Server::start(std::string &error)
         listenFd_ = -1;
         return false;
     }
+
+    // Warm-start from the durable store: the first client a recovered
+    // daemon accepts already sees every cell the previous incarnation
+    // computed.  The store's own directory flock backstops the bind
+    // against daemons sharing a store dir across socket paths.
+    if (!cfg_.storeDir.empty()) {
+        ResultStoreConfig storeCfg;
+        storeCfg.dir = cfg_.storeDir;
+        storeCfg.segmentBytes = cfg_.storeSegmentBytes;
+        storeCfg.syncEveryAppend = cfg_.storeSync;
+        store_ = std::make_unique<ResultStore>(storeCfg);
+        if (!store_->open(error)) {
+            store_.reset();
+            ::unlink(cfg_.socketPath.c_str());
+            ::close(listenFd_);
+            listenFd_ = -1;
+            return false;
+        }
+        // Observer first: entries the warm start itself displaces (more
+        // journal than cache capacity) get their tombstones journaled.
+        cache_.setEvictionObserver(
+            [this](const std::string &fp) { store_->appendTombstone(fp); });
+        for (const ResultStore::Record &rec : store_->recovered())
+            cache_.seed(rec.fingerprint, rec.payload, rec.failed);
+        if (store_->recoveredCount() > 0)
+            inform("hpe_serve warm-started {} cached results from {} "
+                   "({} torn-tail truncations)",
+                   store_->recoveredCount(), cfg_.storeDir,
+                   store_->tornTruncations());
+        // The cache holds the live copies now; drop the snapshot.
+        store_->releaseRecovered();
+    }
+
     if (::listen(listenFd_, 64) != 0) {
         error = strformat("listen(): {}", std::strerror(errno));
+        ::unlink(cfg_.socketPath.c_str());
         ::close(listenFd_);
         listenFd_ = -1;
-        ::unlink(cfg_.socketPath.c_str());
         return false;
     }
     if (::pipe(stopPipe_) != 0) {
         error = strformat("pipe(): {}", std::strerror(errno));
+        ::unlink(cfg_.socketPath.c_str());
         ::close(listenFd_);
         listenFd_ = -1;
-        ::unlink(cfg_.socketPath.c_str());
         return false;
     }
     started_ = true;
@@ -269,12 +283,24 @@ Server::stop()
         ::close(conn->fd);
     }
 
+    // Flush and close the journal: a computation that outlives the
+    // drain (its waiter hit its deadline and is gone) completes
+    // memory-only.  Releasing the store lock here — not at
+    // destruction — lets a successor daemon take the store as soon as
+    // the socket path frees.
+    if (store_ != nullptr)
+        store_->close();
+
+    // Unlink *before* closing the listen fd: once the fd is closed a
+    // starting daemon's probe sees a dead socket and may reclaim the
+    // path, and a late unlink would then delete the socket file the
+    // new daemon just bound.
+    ::unlink(cfg_.socketPath.c_str());
     ::close(listenFd_);
     listenFd_ = -1;
     ::close(stopPipe_[0]);
     ::close(stopPipe_[1]);
     stopPipe_[0] = stopPipe_[1] = -1;
-    ::unlink(cfg_.socketPath.c_str());
 }
 
 void
@@ -432,15 +458,23 @@ Server::handleRun(const Value &envelope)
         deadline = std::chrono::steady_clock::now()
                    + std::chrono::milliseconds(deadlineMs);
 
-    // One outstanding-request token per run request, held until the
-    // response is built: together with the cache's pending count this
-    // is the load depth the shed tiers key on.
+    // One outstanding-request token per run request: together with the
+    // cache's pending count this is the load depth the shed tiers key
+    // on.  Coalesced waiters release theirs early (below) — they hold
+    // no worker, so a herd sharing one slow computation is not load.
     ++outstanding_;
     struct OutstandingGuard
     {
-        std::atomic<std::uint64_t> &count;
-        ~OutstandingGuard() { --count; }
-    } outstandingGuard{outstanding_};
+        std::atomic<std::uint64_t> *count;
+        ~OutstandingGuard() { release(); }
+        void release()
+        {
+            if (count != nullptr) {
+                --*count;
+                count = nullptr;
+            }
+        }
+    } outstandingGuard{&outstanding_};
 
     const std::size_t depth =
         static_cast<std::size_t>(outstanding_.load())
@@ -511,6 +545,13 @@ Server::handleRun(const Value &envelope)
         break;
       }
     }
+
+    // A coalesced waiter just parks on the entry's condition variable
+    // until the one computation it shares finishes: drop its token so
+    // 300 clients coalescing on one slow cold fingerprint cannot flip
+    // the daemon into reject mode while the workers sit idle.
+    if (coalesced)
+        outstandingGuard.release();
 
     if (!cache_.wait(acq.entry, deadline)) {
         ++errors_;

@@ -23,12 +23,15 @@
  *    parallelism defaults to resolveJobs() like every other consumer;
  *  - durability: with a store directory configured, every completed
  *    result is journaled to a ResultStore *before* waiters see it, and
- *    start() warm-starts the cache from the journal before the socket
- *    binds — a restarted daemon answers previously computed cells as
- *    cache hits with byte-identical payloads;
+ *    start() warm-starts the cache from the journal after the socket
+ *    binds (so a daemon racing a live one fails fast with the journal
+ *    untouched) but before it listens — a restarted daemon answers
+ *    previously computed cells as cache hits with byte-identical
+ *    payloads from its first accepted request;
  *  - tiered load shedding: admission degrades through modes driven by
  *    load depth (queued/running computations + outstanding run
- *    requests) — full service, then hit-and-coalesce-only (new
+ *    requests; coalesced waiters drop out of the gauge once they park
+ *    on a shared computation) — full service, then hit-and-coalesce-only (new
  *    fingerprints rejected with a retry_after_ms hint while cached and
  *    in-flight work still answers), then reject (every run request
  *    sheds; ping/stats always answer).  The current mode, transition
@@ -126,7 +129,8 @@ class Server
     void requestStop();
 
     /** Graceful drain: stop accepting, finish in-flight requests, join
-     *  every connection, remove the socket file.  Idempotent.  Must not
+     *  every connection, flush and close the store (releasing its
+     *  directory lock), remove the socket file.  Idempotent.  Must not
      *  be called from a connection thread (it joins them). */
     void stop();
 
@@ -197,7 +201,9 @@ class Server
     std::atomic<std::uint64_t> connectionsTotal_{0};
     std::atomic<std::uint64_t> running_{0};
     /** Run requests admitted and not yet answered (the load gauge the
-     *  shed tiers key on, together with the cache's pending count). */
+     *  shed tiers key on, together with the cache's pending count).
+     *  Coalesced waiters release their token before they start
+     *  waiting — they consume no worker. */
     std::atomic<std::uint64_t> outstanding_{0};
     std::atomic<int> shedMode_{0};
     std::atomic<std::uint64_t> shedTransitions_{0};

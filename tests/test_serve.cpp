@@ -563,6 +563,44 @@ TEST(Serve, StoreBackedRestartServesWarmHitsWithIdenticalBytes)
     server.stop();
 }
 
+TEST(Serve, SecondDaemonOnTheSameStoreDirFailsFastWithoutTouchingIt)
+{
+    ServeConfig cfg;
+    cfg.socketPath = ::testing::TempDir() + "/hpe_dualstore_a.sock";
+    cfg.storeDir = ::testing::TempDir() + "/hpe_dualstore";
+    std::filesystem::remove_all(cfg.storeDir);
+
+    Server live(cfg);
+    std::string error;
+    ASSERT_TRUE(live.start(error)) << error;
+    std::string response, err;
+    ASSERT_TRUE(submitLine(cfg.socketPath, runRequest(), response, err))
+        << err;
+
+    // A second daemon on a *different* socket but the same store dir
+    // must fail at the store lock — before any replay could misread
+    // the live daemon's journal tail and truncate it.
+    ServeConfig second = cfg;
+    second.socketPath = ::testing::TempDir() + "/hpe_dualstore_b.sock";
+    Server intruder(second);
+    std::string intruderError;
+    EXPECT_FALSE(intruder.start(intruderError));
+    EXPECT_NE(intruderError.find("locked"), std::string::npos)
+        << intruderError;
+    // The loser cleaned up its freshly bound socket path.
+    EXPECT_NE(::access(second.socketPath.c_str(), F_OK), 0);
+
+    // The live daemon's journal is intact: a restart over it recovers
+    // the computed cell with no torn-tail truncation.
+    live.stop();
+    Server restarted(cfg);
+    ASSERT_TRUE(restarted.start(error)) << error;
+    ASSERT_NE(restarted.store(), nullptr);
+    EXPECT_EQ(restarted.store()->recoveredCount(), 1u);
+    EXPECT_EQ(restarted.store()->tornTruncations(), 0u);
+    restarted.stop();
+}
+
 TEST(Serve, FailedResultsSurviveRestartAsCachedFailures)
 {
     ServeConfig cfg;

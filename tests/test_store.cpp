@@ -252,6 +252,56 @@ TEST(ResultStore, AppendFailureDegradesToMemoryOnlyNotACrash)
     EXPECT_EQ(gone.appendCount(), 0u);
 }
 
+TEST(ResultStore, SecondOpenOnALockedDirectoryFailsWithTheStoreUntouched)
+{
+    const fs::path dir = freshDir("lock");
+    ResultStore owner(config(dir));
+    std::string error;
+    ASSERT_TRUE(owner.open(error)) << error;
+    owner.append("fp", "payload", false);
+
+    // The loser must fail before reading a byte: no torn-tail
+    // truncation of the owner's active segment, no compaction.
+    ResultStore intruder(config(dir));
+    std::string intruderError;
+    EXPECT_FALSE(intruder.open(intruderError));
+    EXPECT_NE(intruderError.find("locked"), std::string::npos)
+        << intruderError;
+    EXPECT_EQ(intruder.recoveredCount(), 0u);
+
+    owner.append("fp-2", "payload-2", false);
+    owner.close();
+
+    // close() released the flock; the journal held both appends.
+    ResultStore reopened(config(dir));
+    ASSERT_TRUE(reopened.open(error)) << error;
+    EXPECT_EQ(reopened.recovered().size(), 2u);
+    EXPECT_EQ(reopened.tornTruncations(), 0u);
+}
+
+TEST(ResultStore, ReleaseRecoveredDropsTheSnapshotButKeepsTheCount)
+{
+    const fs::path dir = freshDir("release");
+    {
+        ResultStore store(config(dir));
+        std::string error;
+        ASSERT_TRUE(store.open(error)) << error;
+        store.append("a", "1", false);
+        store.append("b", "2", false);
+    }
+    ResultStore store(config(dir));
+    std::string error;
+    ASSERT_TRUE(store.open(error)) << error;
+    ASSERT_EQ(store.recovered().size(), 2u);
+    store.releaseRecovered();
+    EXPECT_TRUE(store.recovered().empty());
+    EXPECT_EQ(store.recoveredCount(), 2u);
+    // The store keeps journaling normally after the release.
+    store.append("c", "3", false);
+    EXPECT_EQ(store.liveCount(), 3u);
+    EXPECT_TRUE(store.healthy());
+}
+
 // ------------------------------------------------- crash recovery proof
 
 /** The frames of a reference journal, in append order. */
