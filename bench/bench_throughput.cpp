@@ -20,6 +20,7 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <fstream>
 
 #include "bench_common.hpp"
@@ -89,6 +90,20 @@ main(int argc, char **argv)
     }
     t.print();
 
+    // Cross-policy geomeans: the values the bench-gate compares, so they
+    // are first-class in the report and the JSON.
+    double func_gm = 0.0;
+    double timing_gm = 0.0;
+    for (const auto &[f, tm] : krefs) {
+        func_gm += std::log(f);
+        timing_gm += std::log(tm);
+    }
+    func_gm = std::exp(func_gm / static_cast<double>(krefs.size()));
+    timing_gm = std::exp(timing_gm / static_cast<double>(krefs.size()));
+    std::cout << "geomean: functional " << TextTable::num(func_gm, 0)
+              << " krefs/s, timing " << TextTable::num(timing_gm, 0)
+              << " krefs/s\n";
+
     // --- 2. sweep wall-clock, serial vs parallel ----------------------
     const auto apps = bench::allApps();
     std::vector<Trace> sweep_traces;
@@ -147,6 +162,9 @@ main(int argc, char **argv)
              << (i + 1 < kinds.size() ? "," : "") << "\n";
     }
     json << "  },\n"
+         << "  \"geomean\": {\"functional_krefs_per_s\": "
+         << TextTable::num(func_gm, 0) << ", \"timing_krefs_per_s\": "
+         << TextTable::num(timing_gm, 0) << "},\n"
          << "  \"sweep\": {\n"
          << "    \"jobs\": " << jobs.size() << ",\n"
          << "    \"serial_seconds\": " << TextTable::num(serial_s, 3) << ",\n"

@@ -308,6 +308,20 @@ reportCommand(const Args &args, std::ostream &os)
         t.addRow(row);
     }
     t.print(os);
+    // Timing runs: event-engine footprint, so profiling sweeps have
+    // first-class numbers without scraping the full stats CSV.
+    if (!req.functional && artifacts.run.stats != nullptr
+        && artifacts.run.stats->hasCounter("gpu.eq.scheduled")) {
+        const StatRegistry &st = *artifacts.run.stats;
+        os << "event engine: "
+           << st.findCounter("gpu.eq.scheduled").value() << " scheduled, "
+           << st.findCounter("gpu.eq.fired").value() << " fired, "
+           << st.findCounter("gpu.eq.overflowPromoted").value()
+           << " overflow promotions, peak pending "
+           << st.findCounter("gpu.eq.peakPending").value() << ", arena "
+           << st.findCounter("gpu.eq.arenaBytes").value() << " bytes ("
+           << st.findCounter("gpu.eq.arenaNodes").value() << " nodes)\n";
+    }
     return 0;
 }
 

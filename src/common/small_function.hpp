@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Move-only `void()` callable with small-buffer optimization.
+ *
+ * The timing simulator stores continuations in hot structures — the
+ * driver's per-page waiter lists and the DRAM request queues — where
+ * `std::function` would heap-allocate per callback and copy on every
+ * container move.  SmallFunction keeps closures up to N bytes inline
+ * (every closure in the simulator today is a handful of pointers) and
+ * falls back to the heap only for oversized callables, so the common
+ * path never allocates.  It is move-only: a continuation has exactly
+ * one owner, and copying a closure that captures simulation state by
+ * reference would only invite aliasing bugs.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace hpe {
+
+/** Move-only `void()` wrapper; closures up to @p N bytes stay inline. */
+template <std::size_t N = 48>
+class SmallFunction
+{
+  public:
+    SmallFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFunction>>>
+    SmallFunction(F &&fn) // NOLINT(google-explicit-constructor)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Fn &>,
+                      "SmallFunction requires a void() callable");
+        if constexpr (sizeof(Fn) <= N && alignof(Fn) <= alignof(std::max_align_t)
+                      && std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(buf_)) Fn *(new Fn(std::forward<F>(fn)));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    SmallFunction(SmallFunction &&other) noexcept
+        : ops_(other.ops_)
+    {
+        if (ops_ != nullptr) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    SmallFunction &
+    operator=(SmallFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_ != nullptr) {
+                ops_->relocate(buf_, other.buf_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    SmallFunction(const SmallFunction &) = delete;
+    SmallFunction &operator=(const SmallFunction &) = delete;
+
+    ~SmallFunction() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    operator()() const
+    {
+        HPE_ASSERT(ops_ != nullptr, "calling an empty SmallFunction");
+        ops_->call(const_cast<std::byte *>(buf_));
+    }
+
+  private:
+    struct Ops
+    {
+        void (*call)(std::byte *);
+        /** Move-construct into @p dst from @p src, then destroy @p src. */
+        void (*relocate)(std::byte *dst, std::byte *src);
+        void (*destroy)(std::byte *);
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](std::byte *b) { (*std::launder(reinterpret_cast<Fn *>(b)))(); },
+        [](std::byte *dst, std::byte *src) {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (static_cast<void *>(dst)) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](std::byte *b) { std::launder(reinterpret_cast<Fn *>(b))->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](std::byte *b) { (**std::launder(reinterpret_cast<Fn **>(b)))(); },
+        [](std::byte *dst, std::byte *src) {
+            Fn **s = std::launder(reinterpret_cast<Fn **>(src));
+            ::new (static_cast<void *>(dst)) Fn *(*s);
+        },
+        [](std::byte *b) { delete *std::launder(reinterpret_cast<Fn **>(b)); },
+    };
+
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) std::byte buf_[N];
+};
+
+} // namespace hpe

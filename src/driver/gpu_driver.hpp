@@ -31,7 +31,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -39,6 +38,7 @@
 
 #include "common/event_queue.hpp"
 #include "common/fault_injector.hpp"
+#include "common/small_function.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/hpe_policy.hpp"
@@ -101,7 +101,12 @@ struct DriverConfig
 class GpuDriver
 {
   public:
-    using Wakeup = std::function<void()>;
+    /**
+     * Warp-wakeup continuation.  Move-only and small-buffer-inlined:
+     * one is queued per faulting warp per fault, so the waiter lists
+     * are a hot allocation site under fault storms.
+     */
+    using Wakeup = SmallFunction<48>;
 
     /**
      * @param cfg   timing parameters.

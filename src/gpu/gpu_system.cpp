@@ -11,7 +11,15 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const Trace &trace,
       uvm_(frames, policy, stats, "driver.uvm"),
       pcie_(cfg.pcie, stats, "pcie"),
       driver_(cfg.driver, uvm_, pcie_, eq_, stats, "driver", hpe),
-      accesses_(stats.counter("gpu.lineAccesses"))
+      accesses_(stats.counter("gpu.lineAccesses")),
+      eqScheduled_(stats.counter("gpu.eq.scheduled")),
+      eqFired_(stats.counter("gpu.eq.fired")),
+      eqOverflowScheduled_(stats.counter("gpu.eq.overflowScheduled")),
+      eqOverflowPromoted_(stats.counter("gpu.eq.overflowPromoted")),
+      eqPeakPending_(stats.counter("gpu.eq.peakPending")),
+      eqHeapCallbacks_(stats.counter("gpu.eq.heapCallbacks")),
+      eqArenaNodes_(stats.counter("gpu.eq.arenaNodes")),
+      eqArenaBytes_(stats.counter("gpu.eq.arenaBytes"))
 {
     l2Tlb_ = std::make_unique<Tlb>(cfg_.l2Tlb, stats, "gpu.l2tlb");
     if (cfg_.walkerMode == WalkerMode::FixedLatency) {
@@ -135,7 +143,7 @@ GpuSystem::translate(Warp &warp, Addr addr)
 
     const Cycle l1_delay = sm.l1Tlb->issueDelay(eq_.now()) + sm.l1Tlb->latency();
     eq_.scheduleIn(l1_delay, [this, &warp, &sm, addr, page] {
-        if (sm.l1Tlb->lookup(page)) {
+        if (sm.l1Tlb->lookup(page)) [[likely]] {
             memAccess(warp, addr);
             return;
         }
@@ -165,7 +173,7 @@ GpuSystem::translate(Warp &warp, Addr addr)
             eq_.scheduleIn(walk_penalty + walk.latency,
                            [this, &warp, &sm, addr, page,
                                           hit = walk.hit] {
-                if (hit) {
+                if (hit) [[likely]] {
                     l2Tlb_->fill(page);
                     sm.l1Tlb->fill(page);
                     memAccess(warp, addr);
@@ -213,7 +221,7 @@ GpuSystem::memAccess(Warp &warp, Addr addr)
         uvm_.markDirty(pageOf(addr));
 
     Sm &sm = sms_[warp.smId];
-    if (sm.l1d->access(addr)) {
+    if (sm.l1d->access(addr)) [[likely]] {
         eq_.scheduleIn(sm.l1d->hitLatency(), [this, &warp] { finishAccess(warp); });
         return;
     }
@@ -295,6 +303,16 @@ GpuSystem::run()
     }
     if (intervals_ != nullptr)
         intervals_->finish();
+
+    const EventQueue::Stats &eqs = eq_.stats();
+    eqScheduled_ += eqs.scheduled;
+    eqFired_ += eqs.fired;
+    eqOverflowScheduled_ += eqs.overflowScheduled;
+    eqOverflowPromoted_ += eqs.overflowPromoted;
+    eqPeakPending_ += eqs.peakPending;
+    eqHeapCallbacks_ += eqs.heapCallbacks;
+    eqArenaNodes_ += eqs.arenaNodes;
+    eqArenaBytes_ += eqs.arenaBytes;
 
     TimingResult r;
     r.cycles = eq_.now();

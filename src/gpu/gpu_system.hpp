@@ -210,6 +210,18 @@ class GpuSystem
     bool idealHitChannel_ = false;
 
     Counter &accesses_;
+
+    /** @{ event-engine observability, filled from EventQueue::stats()
+     *  when run() completes ("gpu.eq.*" in reports) */
+    Counter &eqScheduled_;
+    Counter &eqFired_;
+    Counter &eqOverflowScheduled_;
+    Counter &eqOverflowPromoted_;
+    Counter &eqPeakPending_;
+    Counter &eqHeapCallbacks_;
+    Counter &eqArenaNodes_;
+    Counter &eqArenaBytes_;
+    /** @} */
 };
 
 } // namespace hpe

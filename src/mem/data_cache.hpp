@@ -12,10 +12,13 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <variant>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "mem/page_index.hpp"
 #include "mem/set_assoc.hpp"
 
 namespace hpe {
@@ -58,18 +61,34 @@ class DataCache
             return true;
         }
         ++misses_;
-        array_.insert(line);
+        SetAssocArray<std::monostate>::Entry victim;
+        array_.insert(line, &victim);
+        if (victim.valid)
+            bumpLines(pageOfLine(victim.tag), -1);
+        bumpLines(pageOfLine(line), +1);
         return false;
     }
 
-    /** Drop every line whose address falls inside page @p page. */
+    /**
+     * Drop every line whose address falls inside page @p page.
+     *
+     * Eviction invalidations mostly target pages the cache no longer
+     * holds (the victim went cold long before the policy chose it), so
+     * a per-page resident-line count turns the common case into one
+     * lookup and bounds the rest to the lines actually present.
+     */
     void
     invalidatePage(PageId page)
     {
+        std::uint32_t remaining = lineCount(page);
+        if (remaining == 0)
+            return;
         const std::uint64_t first = addrOf(page) / cfg_.lineBytes;
         const std::uint64_t count = kPageBytes / cfg_.lineBytes;
-        for (std::uint64_t l = first; l < first + count; ++l)
-            array_.erase(l);
+        for (std::uint64_t l = first; l < first + count && remaining > 0; ++l)
+            if (array_.erase(l))
+                --remaining;
+        zeroLines(page);
     }
 
     Cycle hitLatency() const { return cfg_.hitLatency; }
@@ -77,10 +96,58 @@ class DataCache
     std::uint64_t misses() const { return misses_.value(); }
 
   private:
+    PageId
+    pageOfLine(std::uint64_t line) const
+    {
+        return line * cfg_.lineBytes / kPageBytes;
+    }
+
+    std::uint32_t
+    lineCount(PageId page) const
+    {
+        if (page < denseLines_.size()) [[likely]]
+            return denseLines_[page];
+        if (page < kDensePageLimit)
+            return 0;
+        auto it = overflowLines_.find(page);
+        return it == overflowLines_.end() ? 0 : it->second;
+    }
+
+    void
+    bumpLines(PageId page, std::int32_t delta)
+    {
+        if (page < kDensePageLimit) [[likely]] {
+            if (page >= denseLines_.size()) {
+                std::size_t cap = denseLines_.empty() ? 1024 : denseLines_.size();
+                while (cap <= page)
+                    cap *= 2;
+                denseLines_.resize(cap, 0);
+            }
+            denseLines_[page] += static_cast<std::uint32_t>(delta);
+        } else {
+            auto [it, inserted] = overflowLines_.try_emplace(page, 0);
+            it->second += static_cast<std::uint32_t>(delta);
+            if (it->second == 0)
+                overflowLines_.erase(it);
+        }
+    }
+
+    void
+    zeroLines(PageId page)
+    {
+        if (page < denseLines_.size())
+            denseLines_[page] = 0;
+        else if (page >= kDensePageLimit)
+            overflowLines_.erase(page);
+    }
+
     DataCacheConfig cfg_;
     SetAssocArray<std::monostate> array_;
     Counter &hits_;
     Counter &misses_;
+    /** Resident-line count per page: dense window + sparse overflow. */
+    std::vector<std::uint32_t> denseLines_;
+    std::unordered_map<PageId, std::uint32_t> overflowLines_;
 };
 
 } // namespace hpe

@@ -13,11 +13,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/event_queue.hpp"
+#include "common/small_function.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -42,7 +42,8 @@ struct DramConfig
 class Dram
 {
   public:
-    using Callback = std::function<void()>;
+    /** Completion continuation; move-only, inline up to 32 bytes. */
+    using Callback = SmallFunction<32>;
 
     /**
      * @param cfg   geometry/timing.
@@ -70,10 +71,14 @@ class Dram
     read(Addr addr, Callback done)
     {
         ++reads_;
-        Channel &ch = channels_[channelOf(addr)];
-        ch.queue.push_back(Request{addr, std::move(done)});
+        const std::size_t chan = channelOf(addr);
+        Channel &ch = channels_[chan];
+        // Bank/row are functions of the address alone; computing them once
+        // here keeps the FR-FCFS scan free of per-element divisions.
+        ch.queue.push_back(
+            Request{addr, bankOf(addr), rowOf(addr), std::move(done), true});
         if (!ch.busy)
-            serviceNext(channelOf(addr));
+            serviceNext(chan);
     }
 
     /** True when every channel queue is empty and idle. */
@@ -93,7 +98,11 @@ class Dram
     struct Request
     {
         Addr addr;
+        std::size_t bank;
+        std::uint64_t row;
         Callback done;
+        /** False once serviced out of FIFO order (tombstone; see below). */
+        bool live;
     };
 
     struct Channel
@@ -122,32 +131,45 @@ class Dram
         return addr / cfg_.rowBytes / cfg_.banksPerChannel;
     }
 
-    /** FR-FCFS pick: first row hit in queue order, else the oldest. */
+    /**
+     * FR-FCFS pick: first row hit in queue order, else the oldest.
+     *
+     * Requests picked out of FIFO order are tombstoned (live = false)
+     * rather than erased — erasing from the middle of the deque would
+     * shift every younger request (and relocate its callback) on each
+     * row hit.  Tombstones are reclaimed when they reach the front, so
+     * the queue never grows past the deepest in-flight backlog.
+     */
     void
     serviceNext(std::size_t chan_idx)
     {
         Channel &ch = channels_[chan_idx];
+        while (!ch.queue.empty() && !ch.queue.front().live)
+            ch.queue.pop_front();
         if (ch.queue.empty())
             return;
-        std::size_t pick = 0;
+        std::size_t pick = 0; // front is live here, so 0 == oldest
         bool hit = false;
         for (std::size_t i = 0; i < ch.queue.size(); ++i) {
             const Request &r = ch.queue[i];
-            if (ch.openRow[bankOf(r.addr)] == rowOf(r.addr)) {
+            if (r.live && ch.openRow[r.bank] == r.row) {
                 pick = i;
                 hit = true;
                 break;
             }
         }
         Request req = std::move(ch.queue[pick]);
-        ch.queue.erase(ch.queue.begin() + static_cast<std::ptrdiff_t>(pick));
+        if (pick == 0)
+            ch.queue.pop_front();
+        else
+            ch.queue[pick].live = false;
 
         Cycle latency = cfg_.burstCycles + (hit ? cfg_.rowHitLatency : cfg_.rowMissLatency);
         if (hit)
             ++rowHits_;
         else
             ++rowMisses_;
-        ch.openRow[bankOf(req.addr)] = rowOf(req.addr);
+        ch.openRow[req.bank] = req.row;
         ch.busy = true;
         eq_.scheduleIn(latency, [this, chan_idx, done = std::move(req.done)]() {
             done();

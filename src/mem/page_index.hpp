@@ -23,6 +23,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/types.hpp"
 
 namespace hpe {
@@ -216,6 +217,158 @@ class DensePageSet
 
     std::vector<std::uint64_t> bits_;
     std::unordered_set<PageId> overflow_;
+    std::size_t size_ = 0;
+};
+
+/**
+ * Doubly-linked recency chain over pages in struct-of-arrays layout.
+ *
+ * Replaces the node-per-page `IntrusiveList` + `unordered_map<PageId,
+ * unique_ptr<Node>>` idiom in recency policies: links live in parallel
+ * `uint32_t` arrays indexed by slot, the page->slot lookup rides
+ * DensePageMap's direct-indexed fast path, and freed slots recycle
+ * through a free list — so the per-reference chain update touches two
+ * small arrays instead of chasing heap nodes, and tracking a page costs
+ * no allocation after warm-up.
+ *
+ * Chain order is front (head) to back (tail); recency policies keep the
+ * eviction candidate at the front.
+ */
+class DensePageChain
+{
+  public:
+    bool contains(PageId page) const { return slotOf_.lookup(page) != kNoSlot; }
+
+    /** Append @p page at the back (MRU end); must not be present. */
+    void
+    pushBack(PageId page)
+    {
+        const std::uint32_t s = allocSlot(page);
+        prev_[s] = tail_;
+        next_[s] = kNoSlot;
+        if (tail_ != kNoSlot)
+            next_[tail_] = s;
+        else
+            head_ = s;
+        tail_ = s;
+    }
+
+    /** Insert @p page at the front (LRU end); must not be present. */
+    void
+    pushFront(PageId page)
+    {
+        const std::uint32_t s = allocSlot(page);
+        prev_[s] = kNoSlot;
+        next_[s] = head_;
+        if (head_ != kNoSlot)
+            prev_[head_] = s;
+        else
+            tail_ = s;
+        head_ = s;
+    }
+
+    /** Move @p page to the back. @return false if it is not tracked. */
+    bool
+    moveToBack(PageId page)
+    {
+        const std::uint32_t s = slotOf_.lookup(page);
+        if (s == kNoSlot)
+            return false;
+        if (s == tail_)
+            return true;
+        unlink(s);
+        prev_[s] = tail_;
+        next_[s] = kNoSlot;
+        next_[tail_] = s;
+        tail_ = s;
+        return true;
+    }
+
+    /** Remove @p page. @return false if it was not tracked. */
+    bool
+    remove(PageId page)
+    {
+        const std::uint32_t s = slotOf_.erase(page);
+        if (s == kNoSlot)
+            return false;
+        unlink(s);
+        next_[s] = freeHead_;
+        freeHead_ = s;
+        --size_;
+        return true;
+    }
+
+    /** Page at the front (eviction candidate); chain must be nonempty. */
+    PageId
+    front() const
+    {
+        HPE_ASSERT(size_ != 0, "front() on an empty page chain");
+        return page_[head_];
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void
+    reserve(std::size_t n)
+    {
+        prev_.reserve(n);
+        next_.reserve(n);
+        page_.reserve(n);
+    }
+
+    /** Visit pages front to back (LRU to MRU). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::uint32_t s = head_; s != kNoSlot; s = next_[s])
+            fn(page_[s]);
+    }
+
+  private:
+    static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+    std::uint32_t
+    allocSlot(PageId page)
+    {
+        HPE_ASSERT(!contains(page), "page {:#x} already chained", page);
+        std::uint32_t s;
+        if (freeHead_ != kNoSlot) {
+            s = freeHead_;
+            freeHead_ = next_[s];
+            page_[s] = page;
+        } else {
+            s = static_cast<std::uint32_t>(page_.size());
+            prev_.push_back(kNoSlot);
+            next_.push_back(kNoSlot);
+            page_.push_back(page);
+        }
+        slotOf_.insert(page, s);
+        ++size_;
+        return s;
+    }
+
+    void
+    unlink(std::uint32_t s)
+    {
+        if (prev_[s] != kNoSlot)
+            next_[prev_[s]] = next_[s];
+        else
+            head_ = next_[s];
+        if (next_[s] != kNoSlot)
+            prev_[next_[s]] = prev_[s];
+        else
+            tail_ = prev_[s];
+    }
+
+    std::vector<std::uint32_t> prev_;
+    std::vector<std::uint32_t> next_;
+    std::vector<PageId> page_;
+    DensePageMap<std::uint32_t, kNoSlot> slotOf_;
+    std::uint32_t head_ = kNoSlot;
+    std::uint32_t tail_ = kNoSlot;
+    std::uint32_t freeHead_ = kNoSlot;
     std::size_t size_ = 0;
 };
 

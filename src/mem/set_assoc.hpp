@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "mem/page_index.hpp"
 
 namespace hpe {
 
@@ -24,6 +25,18 @@ namespace hpe {
  * LRU state is an age stamp per entry; the arrays here are small (hundreds
  * to thousands of entries), so stamp comparison within a set is cheap and
  * exact.
+ *
+ * Tags are mirrored in a struct-of-arrays vector so the probe loop
+ * touches densely packed 8-byte tags instead of striding across full
+ * Entry structs.  The Entry remains the authority: a mirrored tag match
+ * is confirmed against entry.valid and entry.tag, so a stale mirror
+ * (left by erase) can cost a compare but never a wrong result.
+ *
+ * Fully-associative geometries (the per-SM L1 TLBs: one set, 128 ways,
+ * probed on every line access in timing mode) additionally keep a
+ * tag -> way index so probes are O(1) instead of a 128-way scan.  The
+ * index is pure acceleration — it never influences victim choice — so
+ * hit/miss/eviction behaviour is identical with or without it.
  */
 template <typename Payload>
 class SetAssocArray
@@ -44,7 +57,8 @@ class SetAssocArray
      */
     SetAssocArray(std::size_t num_entries, std::size_t num_ways)
         : ways_(num_ways), sets_(num_entries / num_ways),
-          entries_(num_entries)
+          entries_(num_entries), tags_(num_entries, kEmptyTag),
+          indexed_(sets_ == 1)
     {
         HPE_ASSERT(num_ways > 0 && num_entries % num_ways == 0,
                    "bad geometry: {} entries, {} ways", num_entries, num_ways);
@@ -68,11 +82,22 @@ class SetAssocArray
     Entry *
     probe(std::uint64_t key)
     {
+        if (indexed_) {
+            const std::uint32_t w = index_.lookup(key);
+            if (w == kNoWay)
+                return nullptr;
+            Entry &e = entries_[w];
+            HPE_ASSERT(e.valid && e.tag == key, "way index out of sync");
+            return &e;
+        }
         const std::size_t base = setIndex(key) * ways_;
+        const std::uint64_t *tags = tags_.data() + base;
         for (std::size_t w = 0; w < ways_; ++w) {
-            Entry &e = entries_[base + w];
-            if (e.valid && e.tag == key)
-                return &e;
+            if (tags[w] == key) {
+                Entry &e = entries_[base + w];
+                if (e.valid && e.tag == key) [[likely]]
+                    return &e;
+            }
         }
         return nullptr;
     }
@@ -104,10 +129,18 @@ class SetAssocArray
         const bool evicted = slot->valid;
         if (evicted)
             ++conflictEvictions_;
+        const std::uint64_t displaced = slot->tag;
         *slot = Entry{};
         slot->tag = key;
         slot->valid = true;
         slot->lastUse = ++clock_;
+        const auto way = static_cast<std::size_t>(slot - entries_.data());
+        tags_[way] = key;
+        if (indexed_) {
+            if (evicted)
+                index_.erase(displaced);
+            index_.insert(key, static_cast<std::uint32_t>(way));
+        }
         return *slot;
     }
 
@@ -119,6 +152,9 @@ class SetAssocArray
         if (e == nullptr)
             return false;
         *e = Entry{};
+        tags_[static_cast<std::size_t>(e - entries_.data())] = kEmptyTag;
+        if (indexed_)
+            index_.erase(key);
         return true;
     }
 
@@ -128,6 +164,9 @@ class SetAssocArray
     {
         for (Entry &e : entries_)
             e = Entry{};
+        tags_.assign(tags_.size(), kEmptyTag);
+        if (indexed_)
+            index_ = WayIndex{};
     }
 
     /** Visit every valid entry (iteration order is geometry order). */
@@ -167,11 +206,24 @@ class SetAssocArray
     }
 
   private:
+    /**
+     * Mirror value for empty slots.  A genuine key equal to this only
+     * costs the probe a confirming compare against the Entry, so it is
+     * a performance sentinel, not a correctness reservation.
+     */
+    static constexpr std::uint64_t kEmptyTag = ~std::uint64_t{0};
+    static constexpr std::uint32_t kNoWay = ~std::uint32_t{0};
+
+    using WayIndex = DensePageMap<std::uint32_t, kNoWay>;
+
     std::size_t ways_;
     std::size_t sets_;
     std::uint64_t clock_ = 0;
     std::uint64_t conflictEvictions_ = 0;
     std::vector<Entry> entries_;
+    std::vector<std::uint64_t> tags_; ///< SoA mirror of (valid, tag)
+    bool indexed_;                    ///< fully associative: keep tag -> way
+    WayIndex index_;
 };
 
 } // namespace hpe

@@ -4,30 +4,25 @@
  *
  * Per the paper's "ideal model", both page-walk hits and page faults update
  * the recency chain in exact reference order with no transfer latency.
+ *
+ * The chain is a DensePageChain: struct-of-arrays links with a
+ * direct-indexed page->slot map, so the per-reference recency update is
+ * two array writes instead of a hash probe plus a heap-node relink.
  */
 
 #pragma once
 
-#include <memory>
-#include <unordered_map>
-
-#include "common/intrusive_list.hpp"
 #include "common/types.hpp"
+#include "mem/page_index.hpp"
 #include "policy/eviction_policy.hpp"
 
 namespace hpe {
 
-/** Exact page-granularity LRU chain. */
+/** Exact page-granularity LRU chain (front = LRU victim, back = MRU). */
 class LruPolicy : public EvictionPolicy
 {
   public:
-    void
-    onHit(PageId page) override
-    {
-        auto it = nodes_.find(page);
-        if (it != nodes_.end())
-            chain_.moveToBack(*it->second);
-    }
+    void onHit(PageId page) override { chain_.moveToBack(page); }
 
     void onFault(PageId) override {}
 
@@ -35,63 +30,40 @@ class LruPolicy : public EvictionPolicy
     selectVictim() override
     {
         HPE_ASSERT(!chain_.empty(), "LRU victim request with no resident pages");
-        return chain_.front().page;
+        return chain_.front();
     }
 
     void
     onEvict(PageId page) override
     {
-        auto it = nodes_.find(page);
-        HPE_ASSERT(it != nodes_.end(), "evicting untracked page {:#x}", page);
-        chain_.remove(*it->second);
-        nodes_.erase(it);
+        const bool tracked = chain_.remove(page);
+        HPE_ASSERT(tracked, "evicting untracked page {:#x}", page);
     }
 
-    void
-    onMigrateIn(PageId page) override
-    {
-        auto node = std::make_unique<Node>();
-        node->page = page;
-        chain_.pushBack(*node);
-        nodes_.emplace(page, std::move(node));
-    }
+    void onMigrateIn(PageId page) override { chain_.pushBack(page); }
 
     /** Speculative arrivals enter at the LRU (cold) end: a prefetched
      *  page is the first victim unless it proves itself with a hit. */
-    void
-    onPrefetchIn(PageId page) override
-    {
-        auto node = std::make_unique<Node>();
-        node->page = page;
-        chain_.pushFront(*node);
-        nodes_.emplace(page, std::move(node));
-    }
+    void onPrefetchIn(PageId page) override { chain_.pushFront(page); }
 
     std::string name() const override { return "LRU"; }
 
-    void reserveCapacity(std::size_t frames) override { nodes_.reserve(frames); }
+    void reserveCapacity(std::size_t frames) override { chain_.reserve(frames); }
 
     std::optional<std::vector<PageId>>
     trackedResidentPages() const override
     {
         std::vector<PageId> pages;
-        pages.reserve(nodes_.size());
-        for (const auto &[page, node] : nodes_)
-            pages.push_back(page);
+        pages.reserve(chain_.size());
+        chain_.forEach([&pages](PageId page) { pages.push_back(page); });
         return pages;
     }
 
     /** Number of tracked resident pages (for tests). */
-    std::size_t size() const { return nodes_.size(); }
+    std::size_t size() const { return chain_.size(); }
 
   private:
-    struct Node : IntrusiveNode
-    {
-        PageId page = kInvalidId;
-    };
-
-    IntrusiveList<Node> chain_;
-    std::unordered_map<PageId, std::unique_ptr<Node>> nodes_;
+    DensePageChain chain_;
 };
 
 } // namespace hpe

@@ -172,9 +172,9 @@ runPaging(const Trace &trace, EvictionPolicy &policy, std::size_t frames,
         // *after* the flush — servicing the pending faults may evict the
         // very page this reference touches, turning the hit into a fault.
         if (batcher.contains(ref.page)
-            || (!batcher.empty() && uvm.resident(ref.page)))
+            || (!batcher.empty() && uvm.resident(ref.page))) [[unlikely]]
             flush();
-        if (uvm.resident(ref.page)) {
+        if (uvm.resident(ref.page)) [[likely]] {
             if (opts.sink != nullptr)
                 opts.sink->advanceTo(idx);
             uvm.recordHit(ref.page);

@@ -3,8 +3,13 @@
 
 Compares a freshly produced BENCH_throughput.json against the baseline
 checked into the repository and fails (exit 1) when the geometric mean
-of the per-policy functional throughput (functional_krefs_per_s) drops
-more than TOLERANCE below the baseline geomean.
+of the per-policy throughput drops more than TOLERANCE below the
+baseline geomean.  Both simulator modes are gated independently:
+
+  - functional_krefs_per_s — the trace-replay hot loop;
+  - timing_krefs_per_s     — the event-engine + memory-hierarchy path
+    (the cost every sweep cell pays, overhauled by the bucketed-wheel
+    event queue; a regression here silently multiplies sweep time).
 
 Tolerance rationale: CI runners are shared and noisy; single-policy
 numbers swing +/-10% run to run, but the geomean across all five
@@ -23,16 +28,37 @@ import math
 import sys
 
 
-def geomean_functional(path):
+def load(path):
     with open(path, encoding="utf-8") as f:
-        data = json.load(f)
-    rates = [
-        float(entry["functional_krefs_per_s"])
-        for entry in data["policies"].values()
-    ]
+        return json.load(f)
+
+
+def geomean(data, key, path):
+    rates = [float(entry[key]) for entry in data["policies"].values()]
     if not rates or any(r <= 0 for r in rates):
-        sys.exit(f"error: {path} has missing or non-positive throughput")
-    return math.exp(sum(math.log(r) for r in rates) / len(rates)), data
+        sys.exit(f"error: {path} has missing or non-positive {key}")
+    return math.exp(sum(math.log(r) for r in rates) / len(rates))
+
+
+def gate(mode, key, base, fresh, fresh_path, base_path, tolerance):
+    """Print one mode's comparison; return True when within tolerance."""
+    base_gm = geomean(base, key, base_path)
+    fresh_gm = geomean(fresh, key, fresh_path)
+    floor = base_gm * (1.0 - tolerance)
+    ratio = fresh_gm / base_gm
+
+    print(f"[{mode}]")
+    print(f"  baseline geomean: {base_gm:10.1f} krefs/s")
+    print(f"  fresh geomean:    {fresh_gm:10.1f} krefs/s  ({ratio:.2%})")
+    print(f"  floor ({1 - tolerance:.0%} of baseline): {floor:10.1f}")
+    for name, entry in fresh["policies"].items():
+        print(f"    {name:10s} {entry[key]:>10} krefs/s")
+
+    if fresh_gm < floor:
+        print(f"FAIL: {mode} geomean dropped more than "
+              f"{tolerance:.0%} below baseline", file=sys.stderr)
+        return False
+    return True
 
 
 def main():
@@ -43,22 +69,16 @@ def main():
                     help="allowed fractional drop below baseline geomean")
     args = ap.parse_args()
 
-    base_gm, _ = geomean_functional(args.baseline)
-    fresh_gm, fresh = geomean_functional(args.fresh)
-    floor = base_gm * (1.0 - args.tolerance)
-    ratio = fresh_gm / base_gm
-
-    print(f"baseline geomean: {base_gm:10.1f} krefs/s")
-    print(f"fresh geomean:    {fresh_gm:10.1f} krefs/s  ({ratio:.2%})")
-    print(f"floor ({1 - args.tolerance:.0%} of baseline): {floor:10.1f}")
-    for name, entry in fresh["policies"].items():
-        print(f"  {name:10s} {entry['functional_krefs_per_s']:>10} krefs/s")
-
-    if fresh_gm < floor:
-        print(f"FAIL: geomean dropped more than "
-              f"{args.tolerance:.0%} below baseline", file=sys.stderr)
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    ok = True
+    for mode, key in (("functional", "functional_krefs_per_s"),
+                      ("timing", "timing_krefs_per_s")):
+        ok &= gate(mode, key, base, fresh, args.fresh, args.baseline,
+                   args.tolerance)
+    if not ok:
         return 1
-    print("OK: within tolerance")
+    print("OK: both modes within tolerance")
     return 0
 
 

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Regenerate the checked-in throughput baseline (BENCH_throughput.json)
+# with a Release build of bench_throughput, so the bench-gate CI job
+# compares against numbers produced the same way it produces its own.
+#
+# The bench stamps hardware_threads into the JSON; re-run this on real
+# multi-core hardware to replace a baseline recorded in a constrained
+# container (a 1-CPU container yields a parallel-sweep "speedup" below
+# 1x, which says nothing about the sweep engine).
+#
+# Usage:
+#   tools/regen_bench.sh [--jobs N] [BENCH_BINARY]
+#
+# Default binary: build-release/bench/bench_throughput (configured and
+# built here if absent). The refreshed BENCH_throughput.json lands at
+# the repo root; review the geomeans and commit it together with the
+# change that moved them.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=4
+BIN=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --jobs)
+            JOBS="$2"
+            shift 2
+            ;;
+        *)
+            BIN="$1"
+            shift
+            ;;
+    esac
+done
+
+if [[ -z "$BIN" ]]; then
+    BIN=build-release/bench/bench_throughput
+    if [[ ! -x "$BIN" ]]; then
+        cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+        cmake --build build-release -j"$(nproc)" --target bench_throughput
+    fi
+fi
+
+if [[ ! -x "$BIN" ]]; then
+    echo "error: bench_throughput binary not found at '$BIN'" >&2
+    exit 2
+fi
+
+# The bench writes BENCH_throughput.json into the working directory —
+# the repo root here, i.e. the checked-in baseline.
+"$BIN" 1 --jobs "$JOBS"
+
+echo
+echo "refreshed BENCH_throughput.json (hardware_threads=$(nproc));"
+echo "diff, sanity-check the geomeans, and commit."
