@@ -27,6 +27,14 @@
 
 namespace {
 
+/**
+ * Writer-format stamp of BENCH_throughput.json.  tools/bench_gate.py and
+ * the regen-check CI step refuse to compare files missing the stamp or
+ * carrying a different one — a silent schema drift between the baseline
+ * and a fresh run would otherwise gate on incomparable numbers.
+ */
+constexpr const char *kBenchToolVersion = "hpe-bench-throughput/1";
+
 using Clock = std::chrono::steady_clock;
 
 double
@@ -147,6 +155,7 @@ main(int argc, char **argv)
     // --- JSON for regression diffing ----------------------------------
     std::ofstream json("BENCH_throughput.json");
     json << "{\n"
+         << "  \"tool_version\": \"" << kBenchToolVersion << "\",\n"
          << "  \"scale\": " << opt.scale << ",\n"
          << "  \"seed\": " << opt.seed << ",\n"
          << "  \"hardware_threads\": " << hw << ",\n"

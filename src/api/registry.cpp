@@ -108,6 +108,9 @@ findApp(std::string_view abbr)
     for (const AppSpec &spec : extraAppSpecs())
         if (key == toLowerAscii(spec.abbr))
             return &spec;
+    for (const AppSpec &spec : mixSpecs())
+        if (key == toLowerAscii(spec.abbr))
+            return &spec;
     return nullptr;
 }
 
@@ -126,6 +129,8 @@ appNames()
     for (const AppSpec &spec : appSpecs())
         out.emplace_back(spec.abbr);
     for (const AppSpec &spec : extraAppSpecs())
+        out.emplace_back(spec.abbr);
+    for (const AppSpec &spec : mixSpecs())
         out.emplace_back(spec.abbr);
     return out;
 }

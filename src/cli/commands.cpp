@@ -19,6 +19,7 @@
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "sim/sweep.hpp"
+#include "sim/tournament.hpp"
 #include "trace/exporters.hpp"
 #include "workload/apps.hpp"
 #include "workload/trace_io.hpp"
@@ -418,6 +419,37 @@ traceCommand(const Args &args, std::ostream &os)
 }
 
 int
+tournamentCommand(const Args &args, std::ostream &os)
+{
+    args.allowOnly({"quick", "full", "scale", "seed", "jobs", "json", "md"});
+    if (args.has("quick") && args.has("full"))
+        fatal("--quick and --full are mutually exclusive");
+    TournamentConfig cfg = args.has("full") ? TournamentConfig::full()
+                                            : TournamentConfig::quick();
+    cfg.scale = args.getDouble("scale", cfg.scale);
+    cfg.seed = args.getUint("seed", cfg.seed);
+    cfg.jobs = static_cast<unsigned>(args.getUint("jobs", 0));
+
+    const Leaderboard board = runTournament(cfg);
+
+    bool wrote = false;
+    if (args.has("json")) {
+        writeOutput(args.get("json"), os, [&](std::ostream &o) {
+            o << board.toJson().dump() << "\n";
+        });
+        wrote = true;
+    }
+    if (args.has("md")) {
+        writeOutput(args.get("md"), os,
+                    [&](std::ostream &o) { o << board.toMarkdown(); });
+        wrote = true;
+    }
+    if (!wrote)
+        os << board.toMarkdown();
+    return 0;
+}
+
+int
 listCommand(const Args &args, std::ostream &os)
 {
     args.allowOnly({});
@@ -426,6 +458,9 @@ listCommand(const Args &args, std::ostream &os)
         os << " " << spec.abbr;
     os << "\nextra applications:";
     for (const AppSpec &spec : extraAppSpecs())
+        os << " " << spec.abbr;
+    os << "\nco-run schedules:";
+    for (const AppSpec &spec : mixSpecs())
         os << " " << spec.abbr;
     os << "\npolicies:";
     for (const std::string &name : api::policyNames())
@@ -594,6 +629,11 @@ printUsage(std::ostream &os)
           "           --socket PATH [run options] [--trace-digest] [--interval N]\n"
           "           [--type run|stats|ping|shutdown] [--deadline-ms N]\n"
           "           [--id TAG] [--retries 5]\n"
+          "  tournament  policy-tournament leaderboard over (app, policy,\n"
+          "           prefetcher, oversubscription) cells; docs/adaptive-\n"
+          "           policies.md explains the standings\n"
+          "           [--quick|--full] [--scale 0.1] [--seed 1] [--jobs N]\n"
+          "           [--json FILE|-] [--md FILE|-]\n"
           "  list     available applications, policies, and prefetchers\n"
           "\n"
           "names (apps, policies, prefetchers) are case-insensitive; `list`\n"
@@ -627,6 +667,8 @@ dispatch(const Args &args, std::ostream &os)
         return serveCommand(args, os);
     if (args.command() == "submit")
         return submitCommand(args, os);
+    if (args.command() == "tournament")
+        return tournamentCommand(args, os);
     if (args.command() == "list")
         return listCommand(args, os);
     printUsage(os);

@@ -33,6 +33,9 @@ int serveCommand(const Args &args, std::ostream &os);
 /** `hpe_sim submit`: send one request to a running daemon. */
 int submitCommand(const Args &args, std::ostream &os);
 
+/** `hpe_sim tournament`: policy-tournament leaderboard. */
+int tournamentCommand(const Args &args, std::ostream &os);
+
 /** `hpe_sim list`: applications and policies. */
 int listCommand(const Args &args, std::ostream &os);
 

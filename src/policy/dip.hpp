@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "common/intrusive_list.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "policy/eviction_policy.hpp"
@@ -34,6 +35,26 @@ struct DipConfig
     /** Selector saturation (classic DIP uses 10 bits). */
     std::uint32_t pselMax = 1024;
     std::uint64_t seed = 1;
+
+    /** Validate invariants the selector arithmetic relies on. */
+    void
+    validate() const
+    {
+        // Rng::below(0) silently returns 0, which would turn BIP into
+        // always-MRU (i.e. plain LRU) instead of failing loudly.
+        HPE_ASSERT(bipEpsilonInverse >= 1,
+                   "BIP epsilon inverse must be at least 1");
+        // psel_ starts at pselMax/2 and the follower rule compares against
+        // pselMax/2; a non-power-of-two ceiling would leave the selector
+        // permanently off-center (the neutral point no longer splits the
+        // range evenly), silently biasing the duel toward BIP.
+        HPE_ASSERT(pselMax >= 2 && (pselMax & (pselMax - 1)) == 0,
+                   "psel ceiling {} must be a power of two >= 2", pselMax);
+        // Leader groups 0 and 1 must both exist and leave followers over.
+        HPE_ASSERT(leaderFraction >= 3,
+                   "leader fraction {} leaves no follower pages",
+                   leaderFraction);
+    }
 };
 
 /** Set-dueling adaptive insertion over a page-level LRU chain. */
@@ -42,7 +63,9 @@ class DipPolicy : public EvictionPolicy
   public:
     explicit DipPolicy(const DipConfig &cfg = {})
         : cfg_(cfg), psel_(cfg.pselMax / 2), rng_(cfg.seed)
-    {}
+    {
+        cfg_.validate();
+    }
 
     void
     onHit(PageId page) override

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <unordered_set>
 
@@ -34,10 +35,19 @@ class FifoPolicy : public EvictionPolicy
     void
     onEvict(PageId page) override
     {
-        HPE_ASSERT(!queue_.empty() && queue_.front() == page,
-                   "FIFO eviction out of order for page {:#x}", page);
-        queue_.pop_front();
-        resident_.erase(page);
+        // Normally the driver evicts exactly selectVictim() == front, but
+        // a hosting meta-policy broadcasts evictions chosen by whichever
+        // candidate is active, so any resident page may be evicted.
+        HPE_ASSERT(resident_.erase(page) == 1,
+                   "FIFO eviction of non-resident page {:#x}", page);
+        if (!queue_.empty() && queue_.front() == page) {
+            queue_.pop_front();
+            return;
+        }
+        const auto it = std::find(queue_.begin(), queue_.end(), page);
+        HPE_ASSERT(it != queue_.end(),
+                   "FIFO queue lost track of page {:#x}", page);
+        queue_.erase(it);
     }
 
     void

@@ -8,11 +8,53 @@
 #include "policy/fifo.hpp"
 #include "policy/lfu.hpp"
 #include "policy/lru.hpp"
+#include "policy/meta/meta_policy.hpp"
 #include "policy/min.hpp"
 #include "policy/random.hpp"
 #include "policy/rrip.hpp"
 
 namespace hpe {
+
+namespace {
+
+/** The candidate roster every meta-policy hosts (ISSUE 8 / ROADMAP 4). */
+const std::vector<PolicyKind> kMetaCandidates = {
+    PolicyKind::Lru,
+    PolicyKind::ClockPro,
+    PolicyKind::Hpe,
+    PolicyKind::Rrip,
+};
+
+/**
+ * Assemble a MetaPolicy: one live + one shadow instance per candidate,
+ * each with a private StatRegistry so HPE's counters never collide with
+ * the run's registry (or with each other).
+ */
+std::unique_ptr<EvictionPolicy>
+makeMetaPolicy(meta::SelectorKind selector, const Trace &trace,
+               const HpeConfig &hpeCfg, std::uint64_t seed)
+{
+    std::vector<meta::MetaCandidate> candidates;
+    candidates.reserve(kMetaCandidates.size());
+    for (PolicyKind kind : kMetaCandidates) {
+        meta::MetaCandidate c;
+        c.name = policyKindName(kind);
+        c.liveStats = std::make_unique<StatRegistry>();
+        c.live = makePolicy(kind, trace, *c.liveStats, hpeCfg, seed);
+        if (selector == meta::SelectorKind::Duel) {
+            c.shadowStats = std::make_unique<StatRegistry>();
+            c.shadow = makePolicy(kind, trace, *c.shadowStats, hpeCfg, seed);
+        }
+        candidates.push_back(std::move(c));
+    }
+    meta::MetaConfig cfg;
+    cfg.selector = selector;
+    cfg.seed = seed;
+    cfg.setShift = 4; // match HpeConfig's default 16-page sets
+    return std::make_unique<meta::MetaPolicy>(cfg, std::move(candidates));
+}
+
+} // namespace
 
 const char *
 policyKindName(PolicyKind kind)
@@ -38,6 +80,10 @@ policyKindName(PolicyKind kind)
         return "FIFO";
       case PolicyKind::Dip:
         return "DIP";
+      case PolicyKind::MetaDuel:
+        return "Meta-duel";
+      case PolicyKind::MetaBandit:
+        return "Meta-bandit";
     }
     return "?";
 }
@@ -56,10 +102,10 @@ const std::vector<PolicyKind> &
 extendedPolicyKinds()
 {
     static const std::vector<PolicyKind> kinds = {
-        PolicyKind::Lru,      PolicyKind::Random, PolicyKind::Rrip,
-        PolicyKind::ClockPro, PolicyKind::Clock,  PolicyKind::Lfu,
-        PolicyKind::Fifo,     PolicyKind::Dip,    PolicyKind::Ideal,
-        PolicyKind::Hpe,
+        PolicyKind::Lru,      PolicyKind::Random,   PolicyKind::Rrip,
+        PolicyKind::ClockPro, PolicyKind::Clock,    PolicyKind::Lfu,
+        PolicyKind::Fifo,     PolicyKind::Dip,      PolicyKind::MetaDuel,
+        PolicyKind::MetaBandit, PolicyKind::Ideal,  PolicyKind::Hpe,
     };
     return kinds;
 }
@@ -95,6 +141,11 @@ makePolicy(PolicyKind kind, const Trace &trace, StatRegistry &stats,
         return std::make_unique<FifoPolicy>();
       case PolicyKind::Dip:
         return std::make_unique<DipPolicy>(DipConfig{.seed = seed});
+      case PolicyKind::MetaDuel:
+        return makeMetaPolicy(meta::SelectorKind::Duel, trace, hpeCfg, seed);
+      case PolicyKind::MetaBandit:
+        return makeMetaPolicy(meta::SelectorKind::Bandit, trace, hpeCfg,
+                              seed);
     }
     panic("bad policy kind");
 }

@@ -22,7 +22,20 @@ namespace hpe {
  * The policies of §V, plus extra baselines from the paper's related
  * work discussion (plain CLOCK, LFU, FIFO, and a DIP adaptation, §VI).
  */
-enum class PolicyKind { Lru, Random, Rrip, ClockPro, Ideal, Hpe, Clock, Lfu, Fifo, Dip };
+enum class PolicyKind {
+    Lru,
+    Random,
+    Rrip,
+    ClockPro,
+    Ideal,
+    Hpe,
+    Clock,
+    Lfu,
+    Fifo,
+    Dip,
+    MetaDuel,   ///< adaptive meta-policy, set-dueling selector
+    MetaBandit, ///< adaptive meta-policy, epsilon-greedy/UCB selector
+};
 
 /** Printable policy-kind name. */
 const char *policyKindName(PolicyKind kind);

@@ -14,6 +14,11 @@
  *
  *   strategy_switches, search_jumps                      (deltas)
  *   chain_length, hir_fill                               (gauges)
+ *
+ * DIP additionally exposes its duel selector (dip.psel gauge), and the
+ * adaptive meta-policy its active candidate index + cumulative switch
+ * count (meta_active, meta_switches gauges) — the observability the
+ * feature-pipeline tests and the tournament leaderboard read.
  */
 
 #pragma once
@@ -23,7 +28,9 @@
 #include "common/stats.hpp"
 #include "core/hpe_policy.hpp"
 #include "driver/uvm_manager.hpp"
+#include "policy/dip.hpp"
 #include "policy/eviction_policy.hpp"
+#include "policy/meta/meta_policy.hpp"
 #include "trace/interval_recorder.hpp"
 
 namespace hpe {
@@ -71,6 +78,18 @@ attachIntervalProbes(trace::IntervalRecorder &rec, const StatRegistry &stats,
         rec.addGauge("hir_fill", [hpe] {
             return static_cast<std::uint64_t>(hpe->hir().occupancy());
         });
+    }
+
+    if (auto *dip = dynamic_cast<DipPolicy *>(&policy); dip != nullptr)
+        rec.addGauge("dip.psel", [dip] {
+            return static_cast<std::uint64_t>(dip->psel());
+        });
+
+    if (auto *m = dynamic_cast<meta::MetaPolicy *>(&policy); m != nullptr) {
+        rec.addGauge("meta_active", [m] {
+            return static_cast<std::uint64_t>(m->activeIndex());
+        });
+        rec.addGauge("meta_switches", [m] { return m->switches(); });
     }
 }
 

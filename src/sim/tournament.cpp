@@ -1,0 +1,336 @@
+#include "sim/tournament.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "api/api.hpp"
+#include "common/log.hpp"
+#include "sim/sweep.hpp"
+#include "workload/apps.hpp"
+
+namespace hpe {
+
+namespace json = api::json;
+
+namespace {
+
+/** Is @p policy one of the adaptive meta selectors? */
+bool
+isMetaPolicy(const std::string &policy)
+{
+    return policy.rfind("Meta-", 0) == 0;
+}
+
+/** Round half-away-from-zero to 6 decimals so the canonical JSON bytes
+ *  do not depend on accumulated floating-point noise. */
+double
+round6(double v)
+{
+    return std::round(v * 1e6) / 1e6;
+}
+
+/** Stable key of one (app, oversub, prefetch) cell group. */
+std::string
+groupKey(const TournamentCell &c)
+{
+    std::ostringstream os;
+    os << c.app << "/" << c.prefetch << "@" << c.oversub;
+    return os.str();
+}
+
+} // namespace
+
+TournamentConfig
+TournamentConfig::quick()
+{
+    TournamentConfig cfg;
+    cfg.apps = {"HSD", "BFS", "KMN", "MXT", "MXS", "MXR"};
+    cfg.policies = {"LRU",       "CLOCK-Pro",  "HPE",
+                    "RRIP",      "Meta-duel",  "Meta-bandit"};
+    cfg.prefetchers = {"none", "sequential", "stride", "density"};
+    cfg.oversubs = {0.5, 0.75};
+    cfg.scale = 0.1;
+    cfg.seed = 1;
+    return cfg;
+}
+
+TournamentConfig
+TournamentConfig::full()
+{
+    TournamentConfig cfg = quick();
+    cfg.apps.clear();
+    for (const AppSpec &spec : appSpecs())
+        cfg.apps.push_back(spec.abbr);
+    for (const AppSpec &spec : extraAppSpecs())
+        cfg.apps.push_back(spec.abbr);
+    for (const AppSpec &spec : mixSpecs())
+        cfg.apps.push_back(spec.abbr);
+    return cfg;
+}
+
+std::size_t
+TournamentConfig::cellCount() const
+{
+    return apps.size() * policies.size() * prefetchers.size()
+           * oversubs.size();
+}
+
+Leaderboard
+runTournament(const TournamentConfig &cfg)
+{
+    if (cfg.apps.empty() || cfg.policies.empty() || cfg.prefetchers.empty()
+        || cfg.oversubs.empty())
+        fatal("tournament needs at least one app, policy, prefetcher and "
+              "oversubscription point");
+    if (std::find(cfg.policies.begin(), cfg.policies.end(), "LRU")
+        == cfg.policies.end())
+        fatal("tournament needs the LRU baseline in its policy list");
+
+    // Build each workload once; cells share the trace read-only.
+    std::vector<Trace> traces;
+    traces.reserve(cfg.apps.size());
+    for (const std::string &app : cfg.apps)
+        traces.push_back(buildApp(app, cfg.scale, cfg.seed));
+
+    // Canonical cell order: app (outer), oversub, prefetch, policy
+    // (inner) — policies of one group stay adjacent so group reductions
+    // are simple index arithmetic.
+    struct CellPlan
+    {
+        std::size_t appIdx;
+        double oversub;
+        std::string prefetch;
+        std::string policy;
+    };
+    std::vector<CellPlan> plan;
+    plan.reserve(cfg.cellCount());
+    for (std::size_t a = 0; a < cfg.apps.size(); ++a)
+        for (double oversub : cfg.oversubs)
+            for (const std::string &prefetch : cfg.prefetchers)
+                for (const std::string &policy : cfg.policies)
+                    plan.push_back({a, oversub, prefetch, policy});
+
+    SweepRunner runner(cfg.jobs);
+    Leaderboard board;
+    board.cfg = cfg;
+    board.cells = runner.mapItems(plan, [&](const CellPlan &p) {
+        api::ExperimentRequest req;
+        req.app = cfg.apps[p.appIdx];
+        req.scale = cfg.scale;
+        req.seed = cfg.seed;
+        req.policy = p.policy;
+        req.oversub = p.oversub;
+        req.functional = true;
+        req.prefetch = p.prefetch;
+        req.traceDigest = true;
+        req.normalize();
+        const api::ExperimentResult r =
+            api::runExperiment(req, &traces[p.appIdx]);
+        TournamentCell cell;
+        cell.app = req.app;
+        cell.oversub = p.oversub;
+        cell.prefetch = req.prefetch;
+        cell.policy = req.policy;
+        cell.references = r.references;
+        cell.faults = r.faults;
+        cell.evictions = r.evictions;
+        cell.hits = r.hits;
+        cell.faultRate = round6(r.faultRate);
+        cell.digest = r.traceDigest;
+        cell.fingerprint = req.fingerprint();
+        return cell;
+    });
+
+    // --- Reductions (serial, in canonical cell order) -------------------
+    const std::size_t nPolicies = cfg.policies.size();
+    const std::size_t nGroups = board.cells.size() / nPolicies;
+
+    // Per-policy index within cfg.policies (cells preserve that order).
+    auto cellAt = [&](std::size_t group, std::size_t policy)
+        -> const TournamentCell & {
+        return board.cells[group * nPolicies + policy];
+    };
+    std::size_t lruIdx = 0;
+    while (cfg.policies[lruIdx] != "LRU")
+        ++lruIdx;
+
+    board.winMatrix.assign(nPolicies, std::vector<unsigned>(nPolicies, 0));
+    std::vector<double> logSpeedupSum(nPolicies, 0.0);
+    std::vector<std::uint64_t> totalFaults(nPolicies, 0);
+    std::vector<unsigned> outrightWins(nPolicies, 0);
+
+    for (std::size_t g = 0; g < nGroups; ++g) {
+        const std::uint64_t lruFaults =
+            std::max<std::uint64_t>(cellAt(g, lruIdx).faults, 1);
+        std::uint64_t bestStatic = UINT64_MAX;
+        for (std::size_t i = 0; i < nPolicies; ++i) {
+            const std::uint64_t f = cellAt(g, i).faults;
+            totalFaults[i] += f;
+            logSpeedupSum[i] += std::log(
+                static_cast<double>(lruFaults)
+                / static_cast<double>(std::max<std::uint64_t>(f, 1)));
+            if (!isMetaPolicy(cfg.policies[i]))
+                bestStatic = std::min(bestStatic, f);
+            bool outright = true;
+            for (std::size_t j = 0; j < nPolicies; ++j) {
+                if (i == j)
+                    continue;
+                if (f < cellAt(g, j).faults)
+                    ++board.winMatrix[i][j];
+                else
+                    outright = false;
+            }
+            if (outright)
+                ++outrightWins[i];
+        }
+        for (std::size_t i = 0; i < nPolicies; ++i)
+            if (isMetaPolicy(cfg.policies[i])
+                && cellAt(g, i).faults < bestStatic)
+                board.metaBeatsAllStatics.push_back(
+                    groupKey(cellAt(g, i)) + ":" + cfg.policies[i]);
+    }
+
+    board.rows.reserve(nPolicies);
+    for (std::size_t i = 0; i < nPolicies; ++i) {
+        TournamentRow row;
+        row.policy = cfg.policies[i];
+        row.totalFaults = totalFaults[i];
+        row.geomeanSpeedupVsLru = round6(
+            std::exp(logSpeedupSum[i] / static_cast<double>(nGroups)));
+        row.outrightWins = outrightWins[i];
+        board.rows.push_back(row);
+    }
+    std::stable_sort(board.rows.begin(), board.rows.end(),
+                     [](const TournamentRow &a, const TournamentRow &b) {
+                         return a.geomeanSpeedupVsLru > b.geomeanSpeedupVsLru;
+                     });
+    return board;
+}
+
+api::json::Value
+Leaderboard::toJson() const
+{
+    json::Object root;
+    root["tool_version"] = kTournamentToolVersion;
+
+    json::Object config;
+    json::Array apps, policies, prefetchers, oversubs;
+    for (const std::string &a : cfg.apps)
+        apps.emplace_back(a);
+    for (const std::string &p : cfg.policies)
+        policies.emplace_back(p);
+    for (const std::string &p : cfg.prefetchers)
+        prefetchers.emplace_back(p);
+    for (double o : cfg.oversubs)
+        oversubs.emplace_back(o);
+    config["apps"] = std::move(apps);
+    config["policies"] = std::move(policies);
+    config["prefetchers"] = std::move(prefetchers);
+    config["oversubs"] = std::move(oversubs);
+    config["scale"] = cfg.scale;
+    config["seed"] = cfg.seed;
+    root["config"] = std::move(config);
+
+    json::Array cellArr;
+    for (const TournamentCell &c : cells) {
+        json::Object o;
+        o["app"] = c.app;
+        o["oversub"] = c.oversub;
+        o["prefetch"] = c.prefetch;
+        o["policy"] = c.policy;
+        o["references"] = c.references;
+        o["faults"] = c.faults;
+        o["evictions"] = c.evictions;
+        o["hits"] = c.hits;
+        o["fault_rate"] = c.faultRate;
+        o["digest"] = c.digest;
+        o["fingerprint"] = c.fingerprint;
+        cellArr.emplace_back(std::move(o));
+    }
+    root["cells"] = std::move(cellArr);
+
+    json::Array rowArr;
+    for (const TournamentRow &r : rows) {
+        json::Object o;
+        o["policy"] = r.policy;
+        o["total_faults"] = r.totalFaults;
+        o["geomean_speedup_vs_lru"] = r.geomeanSpeedupVsLru;
+        o["outright_wins"] = r.outrightWins;
+        rowArr.emplace_back(std::move(o));
+    }
+    root["leaderboard"] = std::move(rowArr);
+
+    json::Array matrix;
+    for (const std::vector<unsigned> &rowWins : winMatrix) {
+        json::Array row;
+        for (unsigned w : rowWins)
+            row.emplace_back(w);
+        matrix.emplace_back(std::move(row));
+    }
+    root["win_matrix"] = std::move(matrix);
+
+    json::Array metaWins;
+    for (const std::string &key : metaBeatsAllStatics)
+        metaWins.emplace_back(key);
+    root["meta_beats_all_statics"] = std::move(metaWins);
+
+    return json::Value(std::move(root));
+}
+
+std::string
+Leaderboard::toMarkdown() const
+{
+    std::ostringstream os;
+    os << "# Policy tournament leaderboard\n\n";
+    os << "Cells: " << cells.size() << " (" << cfg.apps.size() << " apps x "
+       << cfg.oversubs.size() << " oversubscriptions x "
+       << cfg.prefetchers.size() << " prefetchers x " << cfg.policies.size()
+       << " policies), scale " << cfg.scale << ", seed " << cfg.seed
+       << ".\n\n";
+
+    os << "## Standings\n\n";
+    os << "| rank | policy | geomean speedup vs LRU | total far faults | "
+          "outright wins |\n";
+    os << "|---:|---|---:|---:|---:|\n";
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        os << "| " << i + 1 << " | " << rows[i].policy << " | "
+           << rows[i].geomeanSpeedupVsLru << " | " << rows[i].totalFaults
+           << " | " << rows[i].outrightWins << " |\n";
+
+    os << "\n## Win matrix\n\n";
+    os << "Entry (row, column): cells where the row policy had strictly "
+          "fewer far faults than the column policy.\n\n";
+    os << "| vs |";
+    for (const std::string &p : cfg.policies)
+        os << " " << p << " |";
+    os << "\n|---|";
+    for (std::size_t i = 0; i < cfg.policies.size(); ++i)
+        os << "---:|";
+    os << "\n";
+    for (std::size_t i = 0; i < cfg.policies.size(); ++i) {
+        os << "| " << cfg.policies[i] << " |";
+        for (std::size_t j = 0; j < cfg.policies.size(); ++j) {
+            if (i == j)
+                os << " - |";
+            else
+                os << " " << winMatrix[i][j] << " |";
+        }
+        os << "\n";
+    }
+
+    os << "\n## Adaptive wins\n\n";
+    if (metaBeatsAllStatics.empty()) {
+        os << "No cell where a meta-policy strictly beat every static "
+              "policy.\n";
+    } else {
+        os << "Cells where a meta-policy strictly beat every static "
+              "policy:\n\n";
+        for (const std::string &key : metaBeatsAllStatics)
+            os << "- " << key << "\n";
+    }
+    return os.str();
+}
+
+} // namespace hpe

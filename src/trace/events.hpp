@@ -37,7 +37,14 @@ enum class EventKind : std::uint8_t {
     PcieTransfer,   ///< link occupied (value: bytes)
     ChaosInjection, ///< injected fault (sub: ChaosKind)
     Degradation,    ///< thrashing-degradation transition (sub 0: enter, 1: exit)
+    PolicySwitch,   ///< meta-policy changed its active candidate (sub: MetaSelector)
     kCount
+};
+
+/** Sub-kind values of PolicySwitch events (which selector decided). */
+enum class MetaSelector : std::uint8_t {
+    Duel = 0,   ///< set-dueling shadow-fault counters
+    Bandit = 1, ///< epsilon-greedy/UCB bandit on interval fault rate
 };
 
 /** Scope discriminator for Promotion/Demotion events. */
@@ -100,6 +107,7 @@ eventKindName(EventKind kind)
       case EventKind::PcieTransfer:   return "pcie_transfer";
       case EventKind::ChaosInjection: return "chaos";
       case EventKind::Degradation:    return "degradation";
+      case EventKind::PolicySwitch:   return "policy_switch";
       case EventKind::kCount:         break;
     }
     return "?";
@@ -146,6 +154,10 @@ subKindName(EventKind kind, std::uint8_t sub)
         return "?";
       case EventKind::Degradation:
         return sub == 0 ? "enter" : "exit";
+      case EventKind::PolicySwitch:
+        return sub == static_cast<std::uint8_t>(MetaSelector::Bandit)
+                   ? "bandit"
+                   : "duel";
       default:
         return "";
     }

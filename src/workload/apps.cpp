@@ -61,6 +61,18 @@ const std::vector<AppSpec> kExtraSpecs = {
     {"SYR", "SYRK", "Polybench", PatternType::II, 1536},      // "too long"
 };
 
+/**
+ * Phase-changing co-run schedules (the meta-policy's target regime).
+ * Declared type II so RRIP gets its thrashing (distant-insert)
+ * configuration — the honest static configuration for schedules whose
+ * dominant slice is a cyclic sweep.
+ */
+const std::vector<AppSpec> kMixSpecs = {
+    {"MXT", "hotspot3D+b+tree", "Co-run", PatternType::II, 5120},
+    {"MXS", "hotspot3D+sad", "Co-run", PatternType::II, 5120},
+    {"MXR", "srad+histo+b+tree", "Co-run", PatternType::II, 6144},
+};
+
 } // namespace
 
 const std::vector<AppSpec> &
@@ -75,6 +87,12 @@ extraAppSpecs()
     return kExtraSpecs;
 }
 
+const std::vector<AppSpec> &
+mixSpecs()
+{
+    return kMixSpecs;
+}
+
 const AppSpec &
 appSpec(const std::string &abbr)
 {
@@ -82,6 +100,9 @@ appSpec(const std::string &abbr)
         if (abbr == s.abbr)
             return s;
     for (const AppSpec &s : kExtraSpecs)
+        if (abbr == s.abbr)
+            return s;
+    for (const AppSpec &s : kMixSpecs)
         if (abbr == s.abbr)
             return s;
     fatal("unknown application '{}'", abbr);
@@ -260,6 +281,60 @@ buildApp(const std::string &abbr, double scale, std::uint64_t seed)
                    2, 16);
             stream(t, 0, a_pages, 1, 16);
         }
+    } else if (abbr == "MXT") {
+        // Co-run: a hotspot3D-like cyclic stencil slice time-shares the
+        // GPU with b+tree-like query batches, each batch walking a subtree
+        // built fresh that round.  The stencil footprint alone exceeds the
+        // memory split, so recency policies thrash slice A; the subtree
+        // pages are brand new every round, so scan-resistant distant
+        // insertion keeps evicting exactly the pages phase B is about to
+        // reuse.  No static candidate is good at both slices.
+        // Two long rounds, not many short ones: each phase must span
+        // several of the meta-policy's 256-reference decision intervals,
+        // or the one-interval switch lag eats the whole adaptation gain.
+        const std::size_t a_pages = (fp * 3) / 4;       // stencil slice
+        const std::size_t b_pages = (fp - a_pages) / 4; // per-round subtree
+        for (unsigned round = 0; round < 4; ++round) {
+            t.beginKernel();
+            thrash(t, 0, a_pages, 3, 1, 16);
+            t.beginKernel(); // query batch on this round's fresh subtree
+            regionMoving(t, a_pages + round * b_pages, b_pages, 2, 12, 1, 16);
+        }
+    } else if (abbr == "MXS") {
+        // Co-run: the same cyclic stencil slice against sad-like motion
+        // estimation on a fresh frame each round — the instant-reuse
+        // irregular pattern HPE's counters handle worst (Fig. 10's small
+        // loss), while recency policies serve it perfectly.
+        const std::size_t a_pages = (fp * 3) / 4;
+        const std::size_t b_pages = (fp - a_pages) / 4;
+        for (unsigned round = 0; round < 4; ++round) {
+            t.beginKernel();
+            thrash(t, 0, a_pages, 3, 1, 16);
+            t.beginKernel(); // motion search over this round's frame
+            for (unsigned rep = 0; rep < 6; ++rep)
+                partRepetitivePages(t, a_pages + round * b_pages, b_pages,
+                                    0.6, 3, 12, rng, 16);
+        }
+    } else if (abbr == "MXR") {
+        // Three-slice rotation: srad-like resweep, histo-like skewed
+        // random over a shared table, and a b+tree-like walk of a fresh
+        // subtree per round.  Exercises three pattern types per rotation.
+        // The resweep slice must exceed the 50%-oversubscription memory
+        // split on its own, or nothing thrashes and plain LRU wins every
+        // phase of the rotation.
+        const std::size_t a_pages = (fp * 5) / 8;       // resweep slice
+        const std::size_t h_pages = fp / 8;             // histogram table
+        const std::size_t b_pages = (fp - a_pages - h_pages) / 2;
+        for (unsigned round = 0; round < 2; ++round) {
+            t.beginKernel();
+            thrash(t, 0, a_pages, 4, 1, 16);
+            t.beginKernel();
+            skewedRandom(t, a_pages, h_pages, h_pages * 8, 0.14, 0.6, rng,
+                         8);
+            t.beginKernel();
+            regionMoving(t, a_pages + h_pages + round * b_pages, b_pages, 2,
+                         12, 1, 16);
+        }
     } else {
         panic("application '{}' has a spec but no generator", abbr);
     }
@@ -274,6 +349,7 @@ buildApp(const std::string &abbr, double scale, std::uint64_t seed)
         {"BFS", 0.2}, {"MVT", 0.2}, {"HWL", 0.3}, {"SGM", 0.3}, {"HIS", 0.6},
         {"SPV", 0.1}, {"B+T", 0.1}, {"HYB", 0.5},
         {"MYO", 0.4}, {"LUD", 0.5}, {"STC", 0.2}, {"SYR", 0.3},
+        {"MXT", 0.4}, {"MXS", 0.4}, {"MXR", 0.4},
     };
     patterns::markWrites(t, kWriteFraction.at(abbr), rng);
 

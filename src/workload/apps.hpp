@@ -42,6 +42,16 @@ const std::vector<AppSpec> &appSpecs();
  */
 const std::vector<AppSpec> &extraAppSpecs();
 
+/**
+ * Phase-changing co-run schedules: two or three application slices
+ * time-sharing the GPU, the regime the adaptive meta-policy targets.
+ * Each slice keeps its own address range (distinct unified-memory
+ * allocations), and the schedule alternates slices kernel by kernel, so
+ * the reference stream flips between pattern types every few thousand
+ * references.  No single static policy is good at every slice.
+ */
+const std::vector<AppSpec> &mixSpecs();
+
 /** Lookup by abbreviation; fatal() on unknown names. */
 const AppSpec &appSpec(const std::string &abbr);
 

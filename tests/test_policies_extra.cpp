@@ -227,7 +227,7 @@ TEST(ExtendedFactory, BuildsEveryKind)
 {
     const Trace t = buildApp("STN", 0.25);
     StatRegistry stats;
-    EXPECT_EQ(extendedPolicyKinds().size(), 10u);
+    EXPECT_EQ(extendedPolicyKinds().size(), 12u);
     for (PolicyKind kind : extendedPolicyKinds()) {
         auto policy = makePolicy(kind, t, stats);
         ASSERT_NE(policy, nullptr);

@@ -27,10 +27,23 @@ import json
 import math
 import sys
 
+EXPECTED_TOOL_VERSION = "hpe-bench-throughput/1"
+
 
 def load(path):
     with open(path, encoding="utf-8") as f:
         return json.load(f)
+
+
+def check_stamp(doc, path):
+    stamp = doc.get("tool_version")
+    if stamp is None:
+        sys.exit(f"error: {path} has no tool_version stamp; regenerate it "
+                 "with tools/regen_bench.sh")
+    if stamp != EXPECTED_TOOL_VERSION:
+        sys.exit(f"error: {path} was produced by '{stamp}' but this gate "
+                 f"expects '{EXPECTED_TOOL_VERSION}'; re-baseline with "
+                 "tools/regen_bench.sh")
 
 
 def geomean(data, key, path):
@@ -71,6 +84,8 @@ def main():
 
     base = load(args.baseline)
     fresh = load(args.fresh)
+    check_stamp(base, args.baseline)
+    check_stamp(fresh, args.fresh)
     ok = True
     for mode, key in (("functional", "functional_krefs_per_s"),
                       ("timing", "timing_krefs_per_s")):

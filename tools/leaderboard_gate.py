@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Tournament-leaderboard gate for CI.
+
+Compares a freshly produced leaderboard.json (hpe_sim tournament --quick
+--json) against ci/leaderboard_baseline.json and fails (exit 1) when:
+
+  1. either file lacks the tournament tool_version stamp, or the stamps
+     disagree (comparing leaderboards produced by different tournament
+     revisions is meaningless — re-baseline instead);
+  2. any Meta-* policy's geomean speedup vs LRU regressed more than
+     TOLERANCE below its baseline value (the adaptive layer is the part
+     this gate protects; static policies are pinned by golden digests);
+  3. the fresh leaderboard has an empty meta_beats_all_statics list —
+     the repository's standing claim is that on at least one
+     phase-changing co-run cell an adaptive meta-policy strictly beats
+     every static policy, and a change that silently loses that property
+     must fail CI.
+
+Tolerance rationale: the tournament is functional-mode (exact fault
+counts, no timing noise), so any drift at all is a deliberate behaviour
+change.  The 5% headroom only forgives small intentional re-tunings of a
+candidate policy that shift meta's relative speedup without breaking the
+adaptive win; larger regressions mean the selector stopped adapting.
+
+Usage: leaderboard_gate.py BASELINE.json FRESH.json [--tolerance 0.05]
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+EXPECTED_TOOL_VERSION = "hpe-tournament/1"
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check_stamp(doc, path):
+    stamp = doc.get("tool_version")
+    if stamp is None:
+        sys.exit(f"error: {path} has no tool_version stamp; regenerate it "
+                 "with tools/regen_leaderboard.sh")
+    if stamp != EXPECTED_TOOL_VERSION:
+        sys.exit(f"error: {path} was produced by '{stamp}' but this gate "
+                 f"expects '{EXPECTED_TOOL_VERSION}'; re-baseline with "
+                 "tools/regen_leaderboard.sh")
+
+
+def speedups(doc):
+    return {row["policy"]: float(row["geomean_speedup_vs_lru"])
+            for row in doc["leaderboard"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed fractional drop of a Meta-* policy's "
+                         "geomean speedup below baseline")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    check_stamp(base, args.baseline)
+    check_stamp(fresh, args.fresh)
+
+    base_speedups = speedups(base)
+    fresh_speedups = speedups(fresh)
+    meta_policies = sorted(p for p in base_speedups if p.startswith("Meta-"))
+    if not meta_policies:
+        sys.exit(f"error: {args.baseline} has no Meta-* rows to gate")
+
+    ok = True
+    for policy in meta_policies:
+        if policy not in fresh_speedups:
+            print(f"FAIL: {policy} missing from fresh leaderboard",
+                  file=sys.stderr)
+            ok = False
+            continue
+        b, f = base_speedups[policy], fresh_speedups[policy]
+        floor = b * (1.0 - args.tolerance)
+        verdict = "ok" if f >= floor else "FAIL"
+        print(f"  {policy:12s} baseline {b:.4f}  fresh {f:.4f}  "
+              f"floor {floor:.4f}  {verdict}")
+        if f < floor:
+            print(f"FAIL: {policy} geomean speedup regressed more than "
+                  f"{args.tolerance:.0%} below baseline", file=sys.stderr)
+            ok = False
+
+    meta_wins = fresh.get("meta_beats_all_statics", [])
+    if meta_wins:
+        print(f"  adaptive wins ({len(meta_wins)} cells):")
+        for cell in meta_wins:
+            print(f"    {cell}")
+    else:
+        print("FAIL: no cell where a meta-policy beats every static policy",
+              file=sys.stderr)
+        ok = False
+
+    if not ok:
+        return 1
+    print("OK: meta policies within tolerance and adaptive win holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,8 +75,12 @@ done
 # One prefetcher-enabled cell: pins the density prefetcher's candidate
 # stream and HPE's cold placement of speculative arrivals.
 run_cell "KMN_HPE_density" --app KMN --policy HPE --prefetch density
+# One adaptive cell: pins the meta-policy's interval boundaries, its
+# policy_switch events (folded into the digest), and the meta_active /
+# meta_switches gauge columns of the interval CSV.
+run_cell "KMN_MetaDuel" --app KMN --policy Meta-duel
 
-CELLS=$(( ${#APPS[@]} * ${#POLICIES[@]} + 1 ))
+CELLS=$(( ${#APPS[@]} * ${#POLICIES[@]} + 2 ))
 if [[ "$CHECK" == 1 ]]; then
     if [[ "$status" == 0 ]]; then
         echo "golden traces: all $CELLS cells match"
