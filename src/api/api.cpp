@@ -5,6 +5,7 @@
 
 #include "api/registry.hpp"
 #include "common/log.hpp"
+#include "mem/page_size.hpp"
 #include "trace/events.hpp"
 #include "workload/apps.hpp"
 
@@ -155,6 +156,13 @@ ExperimentRequest::normalize()
     } else {
         prefetch = prefetch::prefetchKindName(prefetchKindOrDie(prefetch));
     }
+    std::string psError;
+    const auto ps = parsePageSizes(pageSizes, psError);
+    if (!ps.has_value())
+        usageFatal("{}", psError);
+    pageSizes = ps->spell();
+    if (!ps->active())
+        coalesce = false; // meaningless without a large class
     if (!chaos.enabled)
         chaos = ChaosRequest{};
 }
@@ -171,7 +179,7 @@ ExperimentRequest::toJson() const
         {"shootdown_drop", chaos.shootdownDrop},
         {"walk_error", chaos.walkError},
     };
-    return json::Value(json::Object{
+    json::Object obj{
         {"app", app},
         {"chaos", std::move(chaosObj)},
         {"degrade", degrade},
@@ -191,7 +199,16 @@ ExperimentRequest::toJson() const
         {"trace_ring", static_cast<std::uint64_t>(traceRing)},
         {"validate", validate},
         {"walk_latency", walkLatency},
-    });
+    };
+    // The page-size axis joins the canonical form only when non-default:
+    // a request that predates (or ignores) the axis must keep the exact
+    // fingerprint it had before the axis existed, or every cached result
+    // and the leaderboard baseline would be orphaned.
+    if (pageSizes != "4k" || coalesce) {
+        obj.emplace("coalesce", coalesce);
+        obj.emplace("page_sizes", pageSizes);
+    }
+    return json::Value(std::move(obj));
 }
 
 std::optional<ExperimentRequest>
@@ -202,11 +219,11 @@ ExperimentRequest::fromJson(const json::Value &v, std::string &error)
         return std::nullopt;
     }
     if (!allowKeys(v,
-                   {"app", "chaos", "degrade", "fault_batch", "functional",
-                    "interval", "multi_level_walker", "oversub", "policy",
-                    "prefetch", "prefetch_degree", "scale", "seed", "stats",
-                    "trace_digest", "trace_events", "trace_ring", "validate",
-                    "walk_latency"},
+                   {"app", "chaos", "coalesce", "degrade", "fault_batch",
+                    "functional", "interval", "multi_level_walker", "oversub",
+                    "page_sizes", "policy", "prefetch", "prefetch_degree",
+                    "scale", "seed", "stats", "trace_digest", "trace_events",
+                    "trace_ring", "validate", "walk_latency"},
                    error))
         return std::nullopt;
 
@@ -222,6 +239,8 @@ ExperimentRequest::fromJson(const json::Value &v, std::string &error)
         || !readString(v, "prefetch", req.prefetch, error)
         || !readUint(v, "prefetch_degree", req.prefetchDegree, error)
         || !readUint(v, "fault_batch", req.faultBatch, error)
+        || !readString(v, "page_sizes", req.pageSizes, error)
+        || !readBool(v, "coalesce", req.coalesce, error)
         || !readBool(v, "degrade", req.degrade, error)
         || !readBool(v, "validate", req.validate, error)
         || !readBool(v, "trace_digest", req.traceDigest, error)
@@ -270,6 +289,8 @@ ExperimentRequest::fromJson(const json::Value &v, std::string &error)
         return std::nullopt;
     }
     if (!validEventMask(req.traceEvents, error))
+        return std::nullopt;
+    if (!parsePageSizes(req.pageSizes, error).has_value())
         return std::nullopt;
     if (req.oversub <= 0.0 || req.oversub > 1.0) {
         error = "field 'oversub' must be in (0, 1]";
@@ -394,6 +415,13 @@ buildRunConfig(const ExperimentRequest &req)
     }
     cfg.gpu.degradation.enabled = req.degrade;
     cfg.gpu.validate = req.validate;
+    {
+        std::string error;
+        const auto ps = parsePageSizes(req.pageSizes, error);
+        HPE_ASSERT(ps.has_value(), "unvalidated page sizes: {}", error);
+        cfg.gpu.pageSizes = *ps;
+        cfg.gpu.pageSizes.coalesce = req.coalesce;
+    }
     return cfg;
 }
 

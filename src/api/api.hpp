@@ -68,6 +68,14 @@ struct ExperimentRequest
     std::string prefetch = "none";
     unsigned prefetchDegree = 4;
     unsigned faultBatch = 1;
+    /**
+     * Page-size axis, canonical "4k[,64k[,2m]]" spelling; "4k" = the
+     * baseline.  Emitted into the canonical JSON only when non-default so
+     * every pre-existing fingerprint is unchanged.
+     */
+    std::string pageSizes = "4k";
+    /** Let the coalescer actually promote (else observe-only). */
+    bool coalesce = false;
     ChaosRequest chaos{};
     bool degrade = false;
     bool validate = false;

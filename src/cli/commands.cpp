@@ -77,6 +77,11 @@ requestFromArgs(const Args &args)
             fatal("--fault-batch must be at least 1");
         req.faultBatch = static_cast<unsigned>(batch);
     }
+    // Page-size axis; normalize() canonicalizes the spelling and rejects
+    // unknown size tokens through usageFatal().
+    if (args.has("page-sizes"))
+        req.pageSizes = args.get("page-sizes", "4k");
+    req.coalesce = args.has("coalesce");
 
     // Chaos mode: any --chaos-* option arms the injector; --chaos-seed
     // alone replays the default event mix under a chosen seed.
@@ -163,7 +168,7 @@ runCommand(const Args &args, std::ostream &os)
     args.allowOnly(withTraceOptions(withChaosOptions(
         {"app", "policy", "oversub", "scale", "seed", "functional", "csv",
          "stats", "walk-latency", "prefetch", "prefetch-degree",
-         "fault-batch", "multi-level-walker"})));
+         "fault-batch", "multi-level-walker", "page-sizes", "coalesce"})));
     api::ExperimentRequest req = requestFromArgs(args);
 
     const bool exportEvents = args.has("trace") || args.has("trace-chrome");
@@ -226,7 +231,8 @@ compareCommand(const Args &args, std::ostream &os)
 {
     args.allowOnly(withChaosOptions(
         {"app", "oversub", "scale", "seed", "extended", "csv", "jobs",
-         "prefetch", "prefetch-degree", "fault-batch"}));
+         "prefetch", "prefetch-degree", "fault-batch", "page-sizes",
+         "coalesce"}));
     const api::ExperimentRequest base = requestFromArgs(args);
     const auto &kinds =
         args.has("extended") ? extendedPolicyKinds() : allPolicyKinds();
@@ -279,7 +285,7 @@ reportCommand(const Args &args, std::ostream &os)
     args.allowOnly(withChaosOptions(
         {"app", "policy", "oversub", "scale", "seed", "functional",
          "interval", "csv", "walk-latency", "prefetch", "prefetch-degree",
-         "fault-batch", "multi-level-walker"}));
+         "fault-batch", "multi-level-walker", "page-sizes", "coalesce"}));
     api::ExperimentRequest req = requestFromArgs(args);
     req.interval = args.getUint("interval", 1000);
 
@@ -331,7 +337,8 @@ sweepCommand(const Args &args, std::ostream &os)
 {
     args.allowOnly({"oversub", "scale", "seed", "extended", "csv",
                     "functional", "jobs", "trace-digests", "prefetch",
-                    "prefetch-degree", "fault-batch"});
+                    "prefetch-degree", "fault-batch", "page-sizes",
+                    "coalesce"});
     api::ExperimentRequest base = requestFromArgs(args);
     const bool digests = args.has("trace-digests");
     base.traceDigest = digests;
@@ -530,7 +537,8 @@ submitCommand(const Args &args, std::ostream &os)
         {"socket", "type", "deadline-ms", "id", "retries", "app", "policy",
          "oversub", "scale", "seed", "functional", "stats", "walk-latency",
          "prefetch", "prefetch-degree", "fault-batch", "multi-level-walker",
-         "trace-digest", "trace-events", "trace-ring", "interval"}));
+         "page-sizes", "coalesce", "trace-digest", "trace-events",
+         "trace-ring", "interval"}));
     const std::string socket = args.get("socket");
     if (socket.empty())
         fatal("submit requires --socket PATH");
@@ -599,6 +607,7 @@ printUsage(std::ostream &os)
           "           [--walk-latency 8] [--multi-level-walker]\n"
           "           [--prefetch none|sequential|stride|density]\n"
           "           [--prefetch-degree N] [--fault-batch N]\n"
+          "           [--page-sizes 4k,64k,2m] [--coalesce]\n"
           "           [--validate] [--degrade] [--chaos-seed N]\n"
           "           [--chaos-pcie-fail P] [--chaos-pcie-stall P]\n"
           "           [--chaos-service-timeout P] [--chaos-shootdown-drop P]\n"
@@ -639,6 +648,12 @@ printUsage(std::ostream &os)
           "names (apps, policies, prefetchers) are case-insensitive; `list`\n"
           "prints the canonical spellings.  --prefetch N (numeric) is\n"
           "deprecated: use --prefetch sequential --prefetch-degree N.\n"
+          "\n"
+          "--page-sizes enables the multi-page-size GMMU axis (docs/\n"
+          "page-sizes.md): 4k always, plus optional 64k/2m large-page\n"
+          "classes; --coalesce lets the GMMU promote fully-resident runs\n"
+          "(without it the axis is observe-only).  Accepted on run,\n"
+          "compare, report, sweep, and submit.\n"
           "\n"
           "--trace writes JSONL events (one per line + digest summary);\n"
           "--trace-chrome writes the Chrome about://tracing format; a FILE\n"

@@ -17,9 +17,14 @@
  *  2. frame sanity: every mapped frame is in range and mapped once;
  *  3. dirty set: every dirty page is resident;
  *  4. policy agreement: policies exposing trackedResidentPages() track
- *     exactly the page table's key set;
+ *     exactly the page table's key set — or, with the page-size axis
+ *     attached, exactly the *logical* page set (uncovered 4 KiB pages
+ *     plus one head per large page);
  *  5. HPE internals: every chain entry sits in the partition list its
- *     tag claims, and HIR occupancy respects the configured geometry.
+ *     tag claims, and HIR occupancy respects the configured geometry;
+ *  6. page-size invariants: every large page is naturally aligned, fully
+ *     resident, non-overlapping, mapped to an aligned contiguous frame
+ *     run, and the coalescer's covered-page accounting matches.
  *
  * Attach via UvmMemoryManager::setValidateHook; tests keep it always on,
  * the CLI arms it behind --validate (it walks the full resident set per
@@ -37,6 +42,7 @@
 #include "common/types.hpp"
 #include "core/hpe_policy.hpp"
 #include "driver/uvm_manager.hpp"
+#include "mem/coalescer.hpp"
 
 namespace hpe {
 
@@ -64,6 +70,8 @@ class StateValidator
         checkPolicy();
         if (auto *hpe = dynamic_cast<HpePolicy *>(&uvm_.policy()))
             checkHpe(*hpe);
+        if (uvm_.coalescer() != nullptr)
+            checkPageSizes(*uvm_.coalescer());
     }
 
   private:
@@ -113,18 +121,79 @@ class StateValidator
         auto tracked = uvm_.policy().trackedResidentPages();
         if (!tracked)
             return; // policy offers no residency introspection
-        if (tracked->size() != uvm_.residentPages())
-            fail(strformat("policy tracks {} resident pages, page table "
-                           "holds {}", tracked->size(), uvm_.residentPages()));
+        // With the page-size axis attached the policy tracks *logical*
+        // pages: every covered non-head subpage is represented by its
+        // large page's head, so the expected cardinality shrinks by
+        // (span - 1) per large page.
+        std::size_t expected = uvm_.residentPages();
+        if (const HugePageCoalescer *co = uvm_.coalescer(); co != nullptr) {
+            expected -= co->coveredPages();
+            expected += co->largePages();
+        }
+        if (tracked->size() != expected)
+            fail(strformat("policy tracks {} resident pages, expected {} "
+                           "logical pages (page table holds {})",
+                           tracked->size(), expected, uvm_.residentPages()));
         std::sort(tracked->begin(), tracked->end());
         if (std::adjacent_find(tracked->begin(), tracked->end())
             != tracked->end())
             fail("policy resident set contains a duplicate page");
-        for (PageId page : *tracked)
+        for (PageId page : *tracked) {
             if (!uvm_.pageTable().resident(page))
                 fail(strformat("policy tracks page {:#x} the page table "
                                "does not hold", page));
-        // Same cardinality, no duplicates, tracked <= table  =>  equal sets.
+            if (uvm_.logicalPageOf(page) != page)
+                fail(strformat("policy tracks page {:#x} that is covered "
+                               "by large page {:#x}", page,
+                               uvm_.logicalPageOf(page)));
+        }
+        // Same cardinality, no duplicates, every tracked page a resident
+        // logical page  =>  tracked == logical page set.
+    }
+
+    void
+    checkPageSizes(const HugePageCoalescer &co) const
+    {
+        std::size_t covered = 0;
+        co.forEachLarge([&](PageId head, std::uint32_t span) {
+            if ((span & (span - 1)) != 0 || span < 2)
+                fail(strformat("large page {:#x} has bogus span {}", head,
+                               span));
+            if (head % span != 0)
+                fail(strformat("large page {:#x} (span {}) is not naturally "
+                               "aligned", head, span));
+            const FrameId base = uvm_.pageTable().lookup(head);
+            if (base == kInvalidId)
+                fail(strformat("large page {:#x} head is not resident", head));
+            if (base % span != 0)
+                fail(strformat("large page {:#x} maps to unaligned frame "
+                               "run base {}", head, base));
+            for (std::uint32_t i = 0; i < span; ++i) {
+                const FrameId f = uvm_.pageTable().lookup(head + i);
+                if (f == kInvalidId)
+                    fail(strformat("large page {:#x} subpage {:#x} is not "
+                                   "resident", head, head + i));
+                if (f != base + i)
+                    fail(strformat("large page {:#x} subpage {:#x} maps to "
+                                   "frame {} (expected contiguous {})",
+                                   head, head + i, f, base + i));
+                // Non-overlap + membership counted once: every subpage's
+                // logical page must be this head (a second covering large
+                // page would resolve some subpage elsewhere).
+                if (uvm_.logicalPageOf(head + i) != head)
+                    fail(strformat("subpage {:#x} of large page {:#x} "
+                                   "resolves to logical page {:#x}",
+                                   head + i, head,
+                                   uvm_.logicalPageOf(head + i)));
+            }
+            covered += span;
+        });
+        if (covered != co.coveredPages())
+            fail(strformat("coalescer covers {} pages but accounts {}",
+                           covered, co.coveredPages()));
+        if (covered > uvm_.residentPages())
+            fail(strformat("coalescer covers {} pages with only {} resident",
+                           covered, uvm_.residentPages()));
     }
 
     void

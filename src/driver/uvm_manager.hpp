@@ -17,9 +17,13 @@
  *    every policy benefits without protocol changes);
  *  - a validation hook (setValidateHook), run after every fault service
  *    and prefetch, through which the cross-layer StateValidator checks
- *    page table <-> frame pool <-> policy bookkeeping agreement.
+ *    page table <-> frame pool <-> policy bookkeeping agreement;
+ *  - the multi-page-size axis (enablePageSizes): a huge-page coalescer
+ *    that promotes fully-resident aligned 4 KiB runs into 64 KiB/2 MiB
+ *    large pages and splinters them under eviction pressure, with the
+ *    policy and the TLBs seeing one logical page per large page.
  *
- * Neither is attached by default and the default path is unchanged.
+ * None is attached by default and the default path is unchanged.
  */
 
 #pragma once
@@ -36,7 +40,9 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "driver/resilience.hpp"
+#include "mem/coalescer.hpp"
 #include "mem/page_index.hpp"
+#include "mem/page_size.hpp"
 #include "mem/page_table.hpp"
 #include "mem/radix_page_table.hpp"
 #include "policy/eviction_policy.hpp"
@@ -108,8 +114,22 @@ class UvmMemoryManager
         noteSpeculativeUse(page);
         if (detector_ != nullptr)
             lastTouch_[page] = ++touchClock_;
-        policy_.onHit(page);
+        policy_.onHit(logicalPageOf(page));
     }
+
+    /**
+     * The logical page standing for @p page in the policy: a covering
+     * large page's head, or @p page itself.  One pointer test when no
+     * page-size axis is attached.
+     */
+    PageId
+    logicalPageOf(PageId page) const
+    {
+        return coalescer_ == nullptr ? page : coalescer_->logicalPageOf(page);
+    }
+
+    /** TLB key of @p page: large translations cover their full span. */
+    PageId translationKey(PageId page) const { return logicalPageOf(page); }
 
     /**
      * A real reference touched @p page: if it arrived by prefetch and had
@@ -156,6 +176,12 @@ class UvmMemoryManager
             PageId victim = policy_.selectVictim();
             HPE_ASSERT(table_.resident(victim),
                        "policy chose non-resident victim {:#x}", victim);
+            if (coalescer_ != nullptr) {
+                // A large-page victim splinters first (its subpages
+                // re-enter the policy cold), then only the head itself is
+                // evicted — the single-victim protocol is preserved.
+                coalescer_->beforeEvict(victim);
+            }
             if (detector_ != nullptr && pinned_.erase(victim) > 0) {
                 // The policy insisted on a pinned page: the pin is soft —
                 // it breaks rather than deadlock a full frame pool.
@@ -164,6 +190,8 @@ class UvmMemoryManager
             frames_.release(table_.unmap(victim));
             if (radixMirror_ != nullptr)
                 radixMirror_->unmap(victim);
+            if (coalescer_ != nullptr)
+                coalescer_->onUnmap(victim);
             policy_.onEvict(victim);
             ++evictions_;
             evictedOnce_.insert(victim);
@@ -189,6 +217,8 @@ class UvmMemoryManager
         if (sink_ != nullptr)
             sink_->emit(trace::EventKind::Migration, 0, page, 0);
         policy_.onMigrateIn(page);
+        if (coalescer_ != nullptr)
+            coalescer_->onMap(page);
 
         if (detector_ != nullptr) {
             lastTouch_[page] = ++touchClock_;
@@ -236,6 +266,8 @@ class UvmMemoryManager
         if (sink_ != nullptr)
             sink_->emit(trace::EventKind::Migration, 1, page, 0);
         policy_.onPrefetchIn(page);
+        if (coalescer_ != nullptr)
+            coalescer_->onMap(page);
         speculative_.insert(page);
         if (detector_ != nullptr)
             lastTouch_[page] = ++touchClock_;
@@ -271,6 +303,8 @@ class UvmMemoryManager
         HPE_ASSERT(radix == nullptr || radix->size() == table_.size(),
                    "radix mirror out of sync at attach");
         radixMirror_ = radix;
+        if (coalescer_ != nullptr)
+            coalescer_->setRadixMirror(radix);
     }
 
     void setEvictHook(EvictHook hook) { evictHook_ = std::move(hook); }
@@ -284,7 +318,44 @@ class UvmMemoryManager
      * at the sink's current clock; with no sink the fault path costs one
      * pointer test per site.
      */
-    void setTraceSink(trace::TraceSink *sink) { sink_ = sink; }
+    void
+    setTraceSink(trace::TraceSink *sink)
+    {
+        sink_ = sink;
+        if (coalescer_ != nullptr)
+            coalescer_->setTraceSink(sink);
+    }
+
+    /**
+     * Attach the multi-page-size axis: frame-run tracking plus the
+     * huge-page coalescer (observe-only when cfg.coalesce is false).  A
+     * 4 KiB-only config attaches nothing — the default fault path gains
+     * exactly one null-pointer test per site, which is the bit-exactness
+     * guarantee the golden digests pin.  Must run before the first fault.
+     */
+    void
+    enablePageSizes(const PageSizeConfig &cfg)
+    {
+        HPE_ASSERT(coalescer_ == nullptr, "page sizes enabled twice");
+        if (!cfg.active())
+            return;
+        HPE_ASSERT(table_.size() == 0,
+                   "page sizes must be enabled before the first mapping");
+        frames_.enableRunTracking();
+        coalescer_ = std::make_unique<HugePageCoalescer>(
+            cfg, table_, frames_, policy_, stats_, name_ + ".coalesce");
+        coalescer_->setTraceSink(sink_);
+        coalescer_->setRadixMirror(radixMirror_);
+        coalescer_->setShootdownHook(
+            [this](PageId page) {
+                if (evictHook_)
+                    evictHook_(page);
+            });
+    }
+
+    /** The page-size machinery, or null in the 4 KiB-only default. */
+    const HugePageCoalescer *coalescer() const { return coalescer_.get(); }
+    HugePageCoalescer *coalescer() { return coalescer_.get(); }
 
     /**
      * Arm graceful degradation: a thrashing detector over the refault
@@ -352,7 +423,7 @@ class UvmMemoryManager
         pinned_.clear();
         for (std::size_t i = count; i-- > 0;) {
             pinned_.insert(hot[i].second);
-            policy_.onHit(hot[i].second);
+            policy_.onHit(logicalPageOf(hot[i].second));
         }
         *pinnedPages_ += count;
     }
@@ -366,6 +437,8 @@ class UvmMemoryManager
     ValidateHook validateHook_;
     RadixPageTable *radixMirror_ = nullptr;
     trace::TraceSink *sink_ = nullptr;
+    /** Multi-page-size machinery (allocated by enablePageSizes only). */
+    std::unique_ptr<HugePageCoalescer> coalescer_;
     DensePageSet evictedOnce_;
     DensePageSet dirty_;
     /** Prefetched pages that have not yet been demand-referenced. */

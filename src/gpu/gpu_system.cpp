@@ -44,10 +44,16 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const Trace &trace,
             // Walk hits bypass UvmMemoryManager::recordHit on this channel,
             // so prefetch-usefulness accounting needs its own tap here.
             uvm_.noteSpeculativeUse(page);
-            policy.onHit(page);
+            policy.onHit(uvm_.logicalPageOf(page));
         });
 
     uvm_.setEvictHook([this](PageId page) { onEvictPage(page); });
+
+    // Multi-page-size axis: the coalescer attaches behind the fault path
+    // (after the radix mirror, so remap promotions keep it in sync) and
+    // remap shootdowns flow through the same evict hook as evictions.
+    if (cfg_.pageSizes.active())
+        uvm_.enablePageSizes(cfg_.pageSizes);
 
     // Chaos mode: one injector shared by every injection site.  Nothing
     // is constructed (and no extra stat is registered) when disabled, so
@@ -143,14 +149,20 @@ GpuSystem::translate(Warp &warp, Addr addr)
 
     const Cycle l1_delay = sm.l1Tlb->issueDelay(eq_.now()) + sm.l1Tlb->latency();
     eq_.scheduleIn(l1_delay, [this, &warp, &sm, addr, page] {
-        if (sm.l1Tlb->lookup(page)) [[likely]] {
+        // TLB entries are keyed by the *translation key*: the covering
+        // large page's head when the page is coalesced (so one entry
+        // reaches the whole span), else the page itself.  The key is
+        // resolved at lookup time — coalescing may have changed it while
+        // this access was queued.
+        if (sm.l1Tlb->lookup(uvm_.translationKey(page))) [[likely]] {
             memAccess(warp, addr);
             return;
         }
         const Cycle l2_delay = l2Tlb_->issueDelay(eq_.now()) + l2Tlb_->latency();
         eq_.scheduleIn(l2_delay, [this, &warp, &sm, addr, page] {
-            if (l2Tlb_->lookup(page)) {
-                sm.l1Tlb->fill(page);
+            const PageId key = uvm_.translationKey(page);
+            if (l2Tlb_->lookup(key)) {
+                sm.l1Tlb->fill(key);
                 memAccess(warp, addr);
                 return;
             }
@@ -174,16 +186,18 @@ GpuSystem::translate(Warp &warp, Addr addr)
                            [this, &warp, &sm, addr, page,
                                           hit = walk.hit] {
                 if (hit) [[likely]] {
-                    l2Tlb_->fill(page);
-                    sm.l1Tlb->fill(page);
+                    const PageId k = uvm_.translationKey(page);
+                    l2Tlb_->fill(k);
+                    sm.l1Tlb->fill(k);
                     memAccess(warp, addr);
                     return;
                 }
                 if (uvm_.resident(page)) {
                     // Another warp's fault service landed the page while
                     // this walk was in flight: proceed as a hit.
-                    l2Tlb_->fill(page);
-                    sm.l1Tlb->fill(page);
+                    const PageId k = uvm_.translationKey(page);
+                    l2Tlb_->fill(k);
+                    sm.l1Tlb->fill(k);
                     memAccess(warp, addr);
                     return;
                 }
@@ -198,8 +212,9 @@ GpuSystem::translate(Warp &warp, Addr addr)
                 warp.visitFaulted = driver_.requestPage(
                     page,
                     [this, &warp, &sm, addr, page] {
-                        sm.l1Tlb->fill(page);
-                        l2Tlb_->fill(page);
+                        const PageId k = uvm_.translationKey(page);
+                        sm.l1Tlb->fill(k);
+                        l2Tlb_->fill(k);
                         translate(warp, addr);
                     },
                     static_cast<std::uint32_t>(&warp - warps_.data()));

@@ -32,6 +32,7 @@
 #include "driver/uvm_manager.hpp"
 #include "mem/data_cache.hpp"
 #include "mem/dram.hpp"
+#include "mem/page_size.hpp"
 #include "mem/radix_page_table.hpp"
 #include "policy/eviction_policy.hpp"
 #include "tlb/multi_level_walker.hpp"
@@ -89,6 +90,8 @@ struct GpuConfig
     DegradationConfig degradation{};
     /** Cross-check driver state after every fault service (StateValidator). */
     bool validate = false;
+    /** Multi-page-size axis; default 4 KiB-only attaches nothing. */
+    PageSizeConfig pageSizes{};
 
     /** Safety bound on simulated cycles (0 = unbounded). */
     Cycle maxCycles = 0;

@@ -221,6 +221,89 @@ class DensePageSet
 };
 
 /**
+ * Per-region residency counter for the huge-page coalescer: counts how
+ * many 4 KiB pages are resident in each naturally-aligned 2^order-page
+ * region.  Regions below kDensePageLimit use a direct-indexed array (one
+ * counter per region — at order >= 4 this is a small fraction of the page
+ * table itself); higher regions fall back to a hash map, mirroring the
+ * DensePageMap convention, so correctness never depends on the window.
+ */
+class DenseRegionCounter
+{
+  public:
+    /** @param order region size as log2 subpages (4 = 64 KiB regions). */
+    explicit DenseRegionCounter(unsigned order)
+        : order_(order)
+    {
+        HPE_ASSERT(order >= 1 && order < 20, "bad region order {}", order);
+    }
+
+    unsigned order() const { return order_; }
+
+    /** Count of resident pages in @p page's region. */
+    std::uint32_t
+    count(PageId page) const
+    {
+        const PageId region = page >> order_;
+        if (region < dense_.size())
+            return dense_[region];
+        if (region < (kDensePageLimit >> order_))
+            return 0;
+        auto it = overflow_.find(region);
+        return it == overflow_.end() ? 0 : it->second;
+    }
+
+    /** A page in @p page's region became resident. @return the new count. */
+    std::uint32_t
+    increment(PageId page)
+    {
+        const PageId region = page >> order_;
+        if (region < (kDensePageLimit >> order_)) {
+            if (region >= dense_.size())
+                grow(region);
+            const std::uint32_t now = ++dense_[region];
+            HPE_ASSERT(now <= (std::uint32_t{1} << order_),
+                       "region {:#x} overfull", region);
+            return now;
+        }
+        return ++overflow_[region];
+    }
+
+    /** A page in @p page's region was evicted. @return the new count. */
+    std::uint32_t
+    decrement(PageId page)
+    {
+        const PageId region = page >> order_;
+        if (region < (kDensePageLimit >> order_)) {
+            HPE_ASSERT(region < dense_.size() && dense_[region] > 0,
+                       "region {:#x} count underflow", region);
+            return --dense_[region];
+        }
+        auto it = overflow_.find(region);
+        HPE_ASSERT(it != overflow_.end() && it->second > 0,
+                   "region {:#x} count underflow", region);
+        const std::uint32_t now = --it->second;
+        if (now == 0)
+            overflow_.erase(it);
+        return now;
+    }
+
+  private:
+    void
+    grow(PageId region)
+    {
+        std::size_t capacity = dense_.empty() ? 256 : dense_.size();
+        while (capacity <= region)
+            capacity *= 2;
+        dense_.resize(capacity, 0);
+    }
+
+    unsigned order_;
+    std::vector<std::uint32_t> dense_;
+    std::unordered_map<PageId, std::uint32_t> overflow_;
+};
+
+/**
  * Doubly-linked recency chain over pages in struct-of-arrays layout.
  *
  * Replaces the node-per-page `IntrusiveList` + `unordered_map<PageId,

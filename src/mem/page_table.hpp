@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/log.hpp"
@@ -67,6 +68,14 @@ class PageTable
 /**
  * Free-list allocator over a fixed pool of GPU physical frames.  Its
  * capacity is what the oversubscription rate constrains.
+ *
+ * Multi-page-size runs additionally enable *run tracking*: a free-frame
+ * bitmap beside the LIFO free list, so the huge-page coalescer can claim
+ * aligned contiguous frame runs (allocateRun) and the fragmentation
+ * gauges can count how many such runs remain (freeRunsOf) or histogram
+ * the maximal free runs (freeRunHistogram).  With tracking off — the
+ * default — allocate/release behave exactly as before (same frames in the
+ * same order), which is part of the 4 KiB bit-exactness guarantee.
  */
 class FrameAllocator
 {
@@ -80,22 +89,39 @@ class FrameAllocator
         // Hand out ascending frame numbers first (pop from the back).
         for (std::size_t f = num_frames; f > 0; --f)
             free_.push_back(f - 1);
+        freeCount_ = num_frames;
     }
 
     /** True when no frame is free (an eviction is needed before a fill). */
-    bool full() const { return free_.empty(); }
+    bool full() const { return freeCount_ == 0; }
 
     std::size_t capacity() const { return capacity_; }
-    std::size_t freeCount() const { return free_.size(); }
+    std::size_t freeCount() const { return freeCount_; }
 
     /** Take a free frame; pool must not be full. */
     FrameId
     allocate()
     {
-        HPE_ASSERT(!free_.empty(), "allocate() from exhausted frame pool");
-        FrameId f = free_.back();
-        free_.pop_back();
-        return f;
+        HPE_ASSERT(freeCount_ > 0, "allocate() from exhausted frame pool");
+        if (freeBits_.empty()) [[likely]] {
+            FrameId f = free_.back();
+            free_.pop_back();
+            --freeCount_;
+            return f;
+        }
+        // Run tracking: allocateRun() claims frames without purging their
+        // stale free-list entries, so pop until a genuinely free frame
+        // surfaces (the bitmap is the truth; the list is the LIFO order).
+        while (true) {
+            HPE_ASSERT(!free_.empty(), "free list lost track of free frames");
+            const FrameId f = free_.back();
+            free_.pop_back();
+            if (testFree(f)) {
+                clearFree(f);
+                --freeCount_;
+                return f;
+            }
+        }
     }
 
     /** Return @p frame to the pool. */
@@ -104,12 +130,139 @@ class FrameAllocator
     {
         HPE_ASSERT(frame < capacity_, "release of bogus frame {}", frame);
         free_.push_back(frame);
-        HPE_ASSERT(free_.size() <= capacity_, "double release detected");
+        ++freeCount_;
+        HPE_ASSERT(freeCount_ <= capacity_, "double release detected");
+        if (!freeBits_.empty()) {
+            HPE_ASSERT(!testFree(frame), "double release of frame {}", frame);
+            setFree(frame);
+        }
+    }
+
+    /**
+     * Arm the free-frame bitmap (idempotent).  Required before
+     * allocateRun/freeRunsOf/freeRunHistogram; enabled by the coalescer,
+     * never on the default path.
+     */
+    void
+    enableRunTracking()
+    {
+        if (!freeBits_.empty())
+            return;
+        freeBits_.assign((capacity_ + 63) / 64, 0);
+        for (FrameId f : free_)
+            setFree(f);
+    }
+
+    bool runTracking() const { return !freeBits_.empty(); }
+
+    /**
+     * Claim an aligned run of @p span free frames (span a power of two).
+     * Scans ascending, so the lowest-addressed eligible run wins — a
+     * deterministic choice the differential tests rely on.  @return the
+     * base frame, or nullopt when fragmentation leaves no such run.
+     */
+    std::optional<FrameId>
+    allocateRun(std::uint32_t span)
+    {
+        HPE_ASSERT(runTracking(), "allocateRun without run tracking");
+        HPE_ASSERT(span >= 2 && (span & (span - 1)) == 0,
+                   "bad run span {}", span);
+        HPE_ASSERT(span <= capacity_, "run span {} exceeds pool {}", span,
+                   capacity_);
+        const auto base = findRun(span);
+        if (!base.has_value())
+            return std::nullopt;
+        for (std::uint32_t i = 0; i < span; ++i)
+            clearFree(*base + i);
+        freeCount_ -= span;
+        return base;
+    }
+
+    /** Count of aligned fully-free runs of @p span frames (fragmentation
+     *  gauge: how many promotions of this class could succeed right now). */
+    std::size_t
+    freeRunsOf(std::uint32_t span) const
+    {
+        HPE_ASSERT(runTracking(), "freeRunsOf without run tracking");
+        std::size_t runs = 0;
+        for (FrameId base = 0; base + span <= capacity_; base += span)
+            runs += runFree(base, span) ? 1 : 0;
+        return runs;
+    }
+
+    /**
+     * Histogram of *maximal* free runs by floor-log2 length: bucket b
+     * counts runs of [2^b, 2^(b+1)) consecutive free frames.  O(capacity);
+     * meant for interval gauges and reports, not the fault path.
+     */
+    std::vector<std::size_t>
+    freeRunHistogram() const
+    {
+        HPE_ASSERT(runTracking(), "freeRunHistogram without run tracking");
+        std::vector<std::size_t> buckets;
+        std::size_t run = 0;
+        const auto flush = [&] {
+            if (run == 0)
+                return;
+            unsigned b = 0;
+            while ((std::size_t{2} << b) <= run)
+                ++b;
+            if (buckets.size() <= b)
+                buckets.resize(b + 1, 0);
+            ++buckets[b];
+            run = 0;
+        };
+        for (FrameId f = 0; f < capacity_; ++f) {
+            if (testFree(f))
+                ++run;
+            else
+                flush();
+        }
+        flush();
+        return buckets;
     }
 
   private:
+    bool
+    testFree(FrameId f) const
+    {
+        return (freeBits_[f >> 6] >> (f & 63)) & 1;
+    }
+    void setFree(FrameId f) { freeBits_[f >> 6] |= std::uint64_t{1} << (f & 63); }
+    void
+    clearFree(FrameId f)
+    {
+        freeBits_[f >> 6] &= ~(std::uint64_t{1} << (f & 63));
+    }
+
+    /** All of [base, base+span) free? */
+    bool
+    runFree(FrameId base, std::uint32_t span) const
+    {
+        if (span >= 64) {
+            for (std::uint32_t w = 0; w < span / 64; ++w)
+                if (freeBits_[(base >> 6) + w] != ~std::uint64_t{0})
+                    return false;
+            return true;
+        }
+        const std::uint64_t mask = (std::uint64_t{1} << span) - 1;
+        return ((freeBits_[base >> 6] >> (base & 63)) & mask) == mask;
+    }
+
+    std::optional<FrameId>
+    findRun(std::uint32_t span) const
+    {
+        for (FrameId base = 0; base + span <= capacity_; base += span)
+            if (runFree(base, span))
+                return base;
+        return std::nullopt;
+    }
+
     std::size_t capacity_;
     std::vector<FrameId> free_;
+    std::size_t freeCount_ = 0;
+    /** One bit per frame, set = free; empty vector = tracking disabled. */
+    std::vector<std::uint64_t> freeBits_;
 };
 
 } // namespace hpe

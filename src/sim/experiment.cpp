@@ -29,7 +29,8 @@ runFunctionalInspect(const Trace &trace, PolicyKind kind, const RunConfig &cfg,
                        .sink = attach.sink,
                        .intervals = attach.intervals,
                        .faultBatch = cfg.gpu.driver.batchSize,
-                       .prefetch = cfg.gpu.driver.prefetch};
+                       .prefetch = cfg.gpu.driver.prefetch,
+                       .pageSizes = cfg.gpu.pageSizes};
     // The legacy --prefetch N knob maps onto the sequential prefetcher,
     // mirroring the timing driver's back-compat rule.
     if (opts.prefetch.kind == prefetch::PrefetchKind::None

@@ -35,6 +35,7 @@
 #include "driver/resilience.hpp"
 #include "driver/state_validator.hpp"
 #include "driver/uvm_manager.hpp"
+#include "mem/page_size.hpp"
 #include "policy/eviction_policy.hpp"
 #include "prefetch/fault_batcher.hpp"
 #include "prefetch/prefetcher.hpp"
@@ -92,6 +93,8 @@ struct PagingOptions
     unsigned faultBatch = 1;
     /** Prefetcher selection (kind None = demand paging only). */
     prefetch::PrefetchConfig prefetch{};
+    /** Page-size axis; default 4 KiB-only attaches nothing. */
+    PageSizeConfig pageSizes{};
 };
 
 /**
@@ -108,6 +111,8 @@ runPaging(const Trace &trace, EvictionPolicy &policy, std::size_t frames,
           StatRegistry &stats, const PagingOptions &opts = {})
 {
     UvmMemoryManager uvm(frames, policy, stats, "uvm");
+    if (opts.pageSizes.active())
+        uvm.enablePageSizes(opts.pageSizes);
     if (opts.degradation.enabled)
         uvm.enableDegradation(opts.degradation);
     std::unique_ptr<StateValidator> validator;

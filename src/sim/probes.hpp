@@ -28,6 +28,8 @@
 #include "common/stats.hpp"
 #include "core/hpe_policy.hpp"
 #include "driver/uvm_manager.hpp"
+#include "mem/coalescer.hpp"
+#include "mem/page_size.hpp"
 #include "policy/dip.hpp"
 #include "policy/eviction_policy.hpp"
 #include "policy/meta/meta_policy.hpp"
@@ -59,6 +61,30 @@ attachIntervalProbes(trace::IntervalRecorder &rec, const StatRegistry &stats,
     rec.addGauge("occupancy", [&uvm] {
         return static_cast<std::uint64_t>(uvm.residentPages());
     });
+
+    // Page-size columns exist only when the multi-page-size axis is
+    // attached, so the default CSV schema (and the golden files pinning
+    // it) is unchanged.  Fragmentation is read straight off the frame
+    // allocator's free-run bitmap.
+    if (const HugePageCoalescer *co = uvm.coalescer(); co != nullptr) {
+        const auto &frames = uvm.frames();
+        rec.addGauge("large_pages", [co] {
+            return static_cast<std::uint64_t>(co->largePages());
+        });
+        rec.addGauge("covered_pages", [co] {
+            return static_cast<std::uint64_t>(co->coveredPages());
+        });
+        rec.addGauge("coalesce_promotions", [co] { return co->promotions(); });
+        rec.addGauge("coalesce_blocked",
+                     [co] { return co->blockedPromotions(); });
+        rec.addGauge("splinters", [co] { return co->splinters(); });
+        for (unsigned order : co->config().largeOrders)
+            rec.addGauge("free_runs_" + PageSizeConfig::sizeName(order),
+                         [&frames, order] {
+                             return static_cast<std::uint64_t>(
+                                 frames.freeRunsOf(std::uint32_t{1} << order));
+                         });
+    }
 
     if (auto *hpe = dynamic_cast<HpePolicy *>(&policy); hpe != nullptr) {
         // The adjustment controller registers lazily with the first

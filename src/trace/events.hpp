@@ -38,6 +38,8 @@ enum class EventKind : std::uint8_t {
     ChaosInjection, ///< injected fault (sub: ChaosKind)
     Degradation,    ///< thrashing-degradation transition (sub 0: enter, 1: exit)
     PolicySwitch,   ///< meta-policy changed its active candidate (sub: MetaSelector)
+    Coalesce,       ///< huge-page promotion attempt (sub: CoalesceKind, value: span)
+    Splinter,       ///< huge page splintered back to 4 KiB (value: span)
     kCount
 };
 
@@ -59,6 +61,13 @@ enum class ChainOpKind : std::uint8_t {
     Remove = 1,  ///< a page set left the chain (all members evicted)
     Divide = 2,  ///< page-set division applied (§IV-C)
     Rotate = 3,  ///< interval rotation (P1 <- P2, P2 <- tail)
+};
+
+/** Sub-kind values of Coalesce events (how the promotion resolved). */
+enum class CoalesceKind : std::uint8_t {
+    InPlace = 0, ///< the run's frames were already aligned and contiguous
+    Remap = 1,   ///< subpages remapped into a freshly claimed aligned run
+    Blocked = 2, ///< fragmentation left no aligned free run (no promotion)
 };
 
 /** Sub-kind values of ChaosInjection events (one per injector stream). */
@@ -108,6 +117,8 @@ eventKindName(EventKind kind)
       case EventKind::ChaosInjection: return "chaos";
       case EventKind::Degradation:    return "degradation";
       case EventKind::PolicySwitch:   return "policy_switch";
+      case EventKind::Coalesce:       return "coalesce";
+      case EventKind::Splinter:       return "splinter";
       case EventKind::kCount:         break;
     }
     return "?";
@@ -158,6 +169,13 @@ subKindName(EventKind kind, std::uint8_t sub)
         return sub == static_cast<std::uint8_t>(MetaSelector::Bandit)
                    ? "bandit"
                    : "duel";
+      case EventKind::Coalesce:
+        switch (static_cast<CoalesceKind>(sub)) {
+          case CoalesceKind::InPlace: return "in_place";
+          case CoalesceKind::Remap:   return "remap";
+          case CoalesceKind::Blocked: return "blocked";
+        }
+        return "?";
       default:
         return "";
     }

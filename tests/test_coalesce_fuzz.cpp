@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Randomized interleaving fuzz for the huge-page coalescer, driving the
+ * UvmMemoryManager directly (no simulator loop) so faults, hits,
+ * prefetches, promotions, splinters, evictions, and shootdowns interleave
+ * in orders the paging loop never produces.  The StateValidator runs
+ * after every single operation, so the first inconsistent page table /
+ * frame pool / policy / large-page record panics at the operation that
+ * caused it.
+ *
+ * The death-test leg pins validatePageSizes: a PageSizeConfig whose class
+ * is not actually large (order 0) or does not fit the frame pool must
+ * panic at attach time, and the parser must reject non-power-of-two
+ * spellings before a config is ever built.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "driver/state_validator.hpp"
+#include "driver/uvm_manager.hpp"
+#include "mem/coalescer.hpp"
+#include "mem/page_size.hpp"
+#include "sim/experiment.hpp"
+#include "workload/trace.hpp"
+
+namespace hpe {
+namespace {
+
+/** A trace only used to size/construct policies (MIN reads it; direct
+ *  driving then diverges from it, which every policy must tolerate). */
+Trace
+seedTrace(std::uint64_t seed, unsigned pages)
+{
+    std::mt19937_64 rng(seed);
+    Trace t("FZZ", "fuzz", "fuzz", PatternType::II);
+    for (unsigned i = 0; i < 64; ++i)
+        t.add(rng() % pages, 1, rng() % 4 == 0);
+    return t;
+}
+
+TEST(CoalesceFuzz, RandomInterleavingsKeepEveryInvariant)
+{
+    const auto &kinds = extendedPolicyKinds();
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto seed = static_cast<std::uint64_t>(trial) * 6131 + 17;
+        std::mt19937_64 rng(seed);
+        const std::size_t frames = std::size_t{8} << (rng() % 4); // 8..64
+        const unsigned universe = static_cast<unsigned>(frames * 2);
+        const PolicyKind kind =
+            kinds[static_cast<std::size_t>(trial) % kinds.size()];
+
+        // One or two large classes that fit the pool; mostly coalescing,
+        // sometimes observe-only so both modes see hostile orderings.
+        unsigned maxOrder = 0;
+        while ((std::size_t{2} << maxOrder) <= frames)
+            ++maxOrder;
+        PageSizeConfig cfg;
+        cfg.coalesce = rng() % 8 != 0;
+        cfg.largeOrders.push_back(1 + static_cast<unsigned>(rng() % maxOrder));
+        const auto second = 1 + static_cast<unsigned>(rng() % maxOrder);
+        if (second != cfg.largeOrders.front() && rng() % 2 == 0)
+            cfg.largeOrders.push_back(second);
+        std::sort(cfg.largeOrders.begin(), cfg.largeOrders.end());
+
+        const Trace t = seedTrace(seed, universe);
+        StatRegistry stats;
+        auto policy = makePolicy(kind, t, stats, {}, seed);
+        UvmMemoryManager uvm(frames, *policy, stats, "uvm");
+        uvm.enablePageSizes(cfg);
+        std::uint64_t shootdowns = 0;
+        uvm.setEvictHook([&shootdowns](PageId) { ++shootdowns; });
+        StateValidator validator(uvm, stats, "validator");
+        uvm.setValidateHook([&validator] { validator.check(); });
+
+        std::uint64_t evictions = 0;
+        const auto fault = [&uvm, &evictions](PageId p) {
+            const FaultOutcome out = uvm.handleFault(p);
+            evictions += out.evicted ? 1 : 0;
+        };
+        for (int op = 0; op < 400; ++op) {
+            const PageId page = rng() % universe;
+            switch (rng() % 5) {
+              case 0: // demand fault (the only op that may evict/splinter)
+                if (!uvm.resident(page))
+                    fault(page);
+                break;
+              case 1: // hit on the page (policy sees its logical page)
+                if (uvm.resident(page))
+                    uvm.recordHit(page);
+                break;
+              case 2: // dirty it
+                if (uvm.resident(page))
+                    uvm.markDirty(page);
+                break;
+              case 3: // speculative migration (never evicts)
+                uvm.prefetchIn(page);
+                break;
+              default: // burst of sequential faults to provoke promotion
+                for (PageId p = page & ~PageId{7}; p < (page | 7) + 1; ++p)
+                    if (p < universe && !uvm.resident(p))
+                        fault(p);
+                break;
+            }
+            validator.check();
+        }
+
+        const HugePageCoalescer *co = uvm.coalescer();
+        ASSERT_NE(co, nullptr);
+        // Splintered pages were once promoted; observe-only never mutates.
+        EXPECT_LE(co->splinters(), co->promotions());
+        if (!cfg.coalesce) {
+            EXPECT_EQ(co->promotions(), 0u) << "observe-only promoted";
+            EXPECT_EQ(co->largePages(), 0u);
+        }
+        EXPECT_EQ(uvm.evictions(), evictions) << "trial " << trial;
+        // Translation safety: the shootdown hook must fire once per
+        // evicted page plus once per remap-promoted subpage — no stale
+        // TLB entry can survive either.
+        const std::uint64_t remapped =
+            stats.findCounter("uvm.coalesce.remappedPages").value();
+        EXPECT_EQ(shootdowns, uvm.evictions() + remapped)
+            << "trial " << trial;
+    }
+}
+
+TEST(CoalesceFuzz, ShootdownFiresForEverySplinterEvictedHead)
+{
+    // Deterministic scenario: fill 16 frames with two 8-page runs under
+    // LRU + a span-8 class, promote both, then fault new pages until both
+    // large pages splintered; every eviction raises exactly one shootdown.
+    Trace t = seedTrace(1, 64);
+    StatRegistry stats;
+    auto policy = makePolicy(PolicyKind::Lru, t, stats);
+    UvmMemoryManager uvm(16, *policy, stats, "uvm");
+    PageSizeConfig cfg;
+    cfg.largeOrders = {3}; // span 8
+    cfg.coalesce = true;
+    uvm.enablePageSizes(cfg);
+    std::vector<PageId> shot;
+    uvm.setEvictHook([&shot](PageId p) { shot.push_back(p); });
+    StateValidator validator(uvm, stats, "validator");
+    uvm.setValidateHook([&validator] { validator.check(); });
+
+    for (PageId p = 0; p < 16; ++p)
+        uvm.handleFault(p);
+    const HugePageCoalescer *co = uvm.coalescer();
+    ASSERT_EQ(co->largePages(), 2u) << "sequential fill did not promote";
+    ASSERT_EQ(co->coveredPages(), 16u);
+    // Remap promotions (if the allocator handed out non-contiguous
+    // frames) already fired per-subpage shootdowns during the fill.
+    const std::size_t fillShots = shot.size();
+
+    // Memory is full: each new fault splinters the victim's large page
+    // (if any) and evicts exactly one 4 KiB page, firing its shootdown.
+    for (PageId p = 100; p < 116; ++p)
+        uvm.handleFault(p);
+    EXPECT_EQ(co->splinters(), 2u) << "both large pages must splinter";
+    EXPECT_EQ(uvm.evictions(), 16u);
+    EXPECT_EQ(shot.size(), fillShots + 16u)
+        << "one shootdown per evicted page";
+}
+
+TEST(CoalesceFuzzDeathTest, OrderZeroClassPanicsAtAttach)
+{
+    Trace t = seedTrace(2, 16);
+    StatRegistry stats;
+    auto policy = makePolicy(PolicyKind::Lru, t, stats);
+    UvmMemoryManager uvm(16, *policy, stats, "uvm");
+    PageSizeConfig cfg;
+    cfg.largeOrders = {0}; // a "large" class of one subpage
+    cfg.coalesce = true;
+    EXPECT_DEATH({ uvm.enablePageSizes(cfg); }, "not large");
+}
+
+TEST(CoalesceFuzzDeathTest, ClassLargerThanFramePoolPanicsAtAttach)
+{
+    Trace t = seedTrace(3, 16);
+    StatRegistry stats;
+    auto policy = makePolicy(PolicyKind::Lru, t, stats);
+    UvmMemoryManager uvm(8, *policy, stats, "uvm");
+    PageSizeConfig cfg;
+    cfg.largeOrders = {4}; // span 16 > 8 frames: promotion can never fit
+    cfg.coalesce = true;
+    EXPECT_DEATH({ uvm.enablePageSizes(cfg); }, "spans 16 frames");
+}
+
+TEST(CoalesceFuzz, ParserRejectsNonPowerOfTwoAndGarbage)
+{
+    std::string error;
+    for (const char *bad : {"3k", "12k", "5m", "4x", "k", "0k", "4k,,oops",
+                            "4096g", "-4k"}) {
+        EXPECT_FALSE(parsePageSizes(bad, error).has_value())
+            << "'" << bad << "' parsed";
+    }
+    // Canonicalization: case-insensitive, duplicates collapse, 4k
+    // optional, orders sorted.
+    const auto cfg = parsePageSizes("2M,64K,64k", error);
+    ASSERT_TRUE(cfg.has_value()) << error;
+    EXPECT_EQ(cfg->largeOrders, (std::vector<unsigned>{4, 9}));
+    EXPECT_EQ(cfg->spell(), "4k,64k,2m");
+    const auto base = parsePageSizes("4k", error);
+    ASSERT_TRUE(base.has_value());
+    EXPECT_FALSE(base->active());
+}
+
+} // namespace
+} // namespace hpe

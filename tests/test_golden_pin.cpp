@@ -50,10 +50,10 @@ readFile(const std::string &path)
  * followed by the human-readable run report (not golden-pinned).
  */
 std::string
-runCell(const std::vector<const char *> &extra)
+runCell(const std::vector<const char *> &extra, const char *scale = "0.1")
 {
     std::vector<const char *> argv = {
-        "hpe_sim", "run",        "--functional", "--scale",  "0.1",
+        "hpe_sim", "run",        "--functional", "--scale",  scale,
         "--seed",  "1",          "--trace-digest", "--interval-stats", "-",
         "--interval", "500",
     };
@@ -107,6 +107,50 @@ TEST(GoldenPin, DensityPrefetchCellIsByteIdentical)
     const std::string got = runCell(
         {"--app", "KMN", "--policy", "HPE", "--prefetch", "density"});
     expectPinned(got, expected, "KMN_HPE_density");
+}
+
+TEST(GoldenPin, ExplicitBaselinePageSizesMatchEveryCell)
+{
+    // Spelling out --page-sizes 4k must be the identity: the page-size
+    // axis attaches nothing, so every pre-existing cell reproduces
+    // byte-for-byte.
+    for (const char *app : {"HSD", "BFS", "KMN"}) {
+        for (const char *policy : {"LRU", "HPE", "Ideal"}) {
+            const std::string stem = std::string(app) + "_" + policy;
+            const std::string expected = readFile(goldenPath(stem + ".digest"))
+                + readFile(goldenPath(stem + ".intervals.csv"));
+            const std::string got = runCell({"--app", app, "--policy", policy,
+                                             "--page-sizes", "4k"});
+            expectPinned(got, expected, stem + " (--page-sizes 4k)");
+        }
+    }
+}
+
+TEST(GoldenPin, HugePageCoalescingCellsAreByteIdentical)
+{
+    // Pins the coalescer's event stream (coalesce/splinter events fold
+    // into the digest) and the page-size interval columns.
+    {
+        const std::string expected =
+            readFile(goldenPath("KMN_HPE_64k.digest"))
+            + readFile(goldenPath("KMN_HPE_64k.intervals.csv"));
+        const std::string got =
+            runCell({"--app", "KMN", "--policy", "HPE", "--page-sizes",
+                     "4k,64k", "--coalesce"});
+        expectPinned(got, expected, "KMN_HPE_64k");
+    }
+    {
+        // Full scale + raised oversubscription: a 2 MiB page spans 512
+        // frames and must fit the pool (tools/regen_golden.sh matches).
+        const std::string expected =
+            readFile(goldenPath("STN_LRU_2m.digest"))
+            + readFile(goldenPath("STN_LRU_2m.intervals.csv"));
+        const std::string got =
+            runCell({"--app", "STN", "--policy", "LRU", "--oversub", "0.85",
+                     "--page-sizes", "4k,2m", "--coalesce"},
+                    /*scale=*/"1.0");
+        expectPinned(got, expected, "STN_LRU_2m");
+    }
 }
 
 } // namespace

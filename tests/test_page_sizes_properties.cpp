@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Property-based differential tests for the multi-page-size GMMU, each
+ * over hundreds of seeded random traces:
+ *
+ *  - observe-only identity: attaching the page-size axis with coalescing
+ *    *disabled* is byte-identical to the 4 KiB baseline — same counts,
+ *    same victim sequence, same trace digest, same interval values —
+ *    across random policies, prefetchers, batch windows, and degradation,
+ *    proving the axis is a pure attachment;
+ *  - Belady consistency: with coalescing *enabled* the run is still a
+ *    demand-paging schedule over 4 KiB faults, so no policy drops below
+ *    MIN's fault count on the equivalent 4 KiB stream, conservation
+ *    holds, and the cross-layer invariants (StateValidator armed on
+ *    every fault service) never fire;
+ *  - determinism: a coalescing run replayed under the same seed emits
+ *    the identical event stream;
+ *  - timing safety: the TLB-reach plumbing survives random multi-size
+ *    timing runs with the validator on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/paging_simulator.hpp"
+#include "trace/interval_recorder.hpp"
+#include "trace/trace_sink.hpp"
+#include "workload/trace.hpp"
+
+namespace hpe {
+namespace {
+
+using prefetch::PrefetchKind;
+
+constexpr int kTrials = 500;
+
+/** Same shape as the prefetch property suite: sequential bursts (so runs
+ *  become contiguous and promotable) plus random jumps (reuse pressure). */
+Trace
+randomTrace(std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    const unsigned pages = 16 + static_cast<unsigned>(rng() % 48);
+    const unsigned refs = 120 + static_cast<unsigned>(rng() % 180);
+    Trace t("RND", "random", "prop", PatternType::II);
+    PageId cursor = rng() % pages;
+    for (unsigned i = 0; i < refs; ++i) {
+        switch (rng() % 4) {
+          case 0:
+            cursor = (cursor + 1) % pages;
+            break;
+          case 1:
+            cursor = (cursor + 3) % pages;
+            break;
+          default:
+            cursor = rng() % pages;
+            break;
+        }
+        t.add(cursor, 1, rng() % 8 == 0);
+        if (rng() % 64 == 0)
+            t.beginKernel();
+    }
+    return t;
+}
+
+std::size_t
+randomFrames(std::mt19937_64 &rng, const Trace &t)
+{
+    const std::size_t fp = t.footprintPages();
+    const std::size_t lo = std::max<std::size_t>(4, fp / 4);
+    return lo + rng() % std::max<std::size_t>(1, fp - lo);
+}
+
+/**
+ * A random multi-size config every class of which fits the frame pool
+ * (validatePageSizes would rightly panic otherwise): one or two distinct
+ * large orders drawn from [1, floor(log2(frames))].
+ */
+PageSizeConfig
+randomPageSizes(std::mt19937_64 &rng, std::size_t frames, bool coalesce)
+{
+    unsigned maxOrder = 0;
+    while ((std::size_t{2} << maxOrder) <= frames)
+        ++maxOrder;
+    PageSizeConfig cfg;
+    cfg.coalesce = coalesce;
+    cfg.largeOrders.push_back(1 + static_cast<unsigned>(rng() % maxOrder));
+    if (maxOrder > 1 && rng() % 2 == 0) {
+        const auto second = 1 + static_cast<unsigned>(rng() % maxOrder);
+        if (second != cfg.largeOrders.front())
+            cfg.largeOrders.push_back(second);
+    }
+    std::sort(cfg.largeOrders.begin(), cfg.largeOrders.end());
+    return cfg;
+}
+
+/** Everything the differential properties compare about one run. */
+struct RunEvidence
+{
+    PagingResult result;
+    std::uint64_t digest = 0;
+    std::vector<PageId> victims;
+    /** Interval timeline as column -> per-interval values.  Keyed by name
+     *  so the observe-only run's extra page-size columns do not offset the
+     *  shared ones. */
+    std::map<std::string, std::vector<std::uint64_t>> timeline;
+};
+
+RunEvidence
+runWithEvidence(const Trace &t, PolicyKind kind, std::size_t frames,
+                PagingOptions opts, std::uint64_t seed)
+{
+    RunEvidence ev;
+    StatRegistry stats;
+    trace::TraceSink sink;
+    trace::IntervalRecorder intervals(50);
+    opts.sink = &sink;
+    opts.intervals = &intervals;
+    auto policy = makePolicy(kind, t, stats, {}, seed);
+    ev.result = runPaging(t, *policy, frames, stats, opts);
+    ev.digest = sink.digest();
+    for (const trace::TraceEvent &e : sink.events())
+        if (e.kind == trace::EventKind::Eviction)
+            ev.victims.push_back(e.page);
+    const auto cols = intervals.columns();
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+        auto &column = ev.timeline[cols[c]];
+        for (const auto &s : intervals.samples())
+            column.push_back(s.values[c]);
+    }
+    return ev;
+}
+
+TEST(PageSizeProperties, ObserveOnlyRunsAreByteIdentical)
+{
+    const auto &kinds = extendedPolicyKinds();
+    const PrefetchKind pf_kinds[] = {PrefetchKind::None,
+                                     PrefetchKind::Sequential,
+                                     PrefetchKind::Stride,
+                                     PrefetchKind::Density};
+    for (int trial = 0; trial < kTrials; ++trial) {
+        const auto seed = static_cast<std::uint64_t>(trial) * 9391 + 7;
+        const Trace t = randomTrace(seed);
+        std::mt19937_64 rng(seed ^ 0x0b5e12ul);
+        const std::size_t frames = randomFrames(rng, t);
+        const PolicyKind kind =
+            kinds[static_cast<std::size_t>(trial) % kinds.size()];
+
+        // A random composition of every functional-mode subsystem the
+        // axis must not disturb.
+        PagingOptions opts;
+        opts.faultBatch = 1u << (rng() % 6);
+        opts.prefetch.kind = pf_kinds[rng() % 4];
+        opts.prefetch.degree = 1 + static_cast<unsigned>(rng() % 8);
+        opts.degradation.enabled = rng() % 4 == 0;
+
+        const RunEvidence base = runWithEvidence(t, kind, frames, opts, seed);
+
+        PagingOptions multi = opts;
+        multi.pageSizes = randomPageSizes(rng, frames, /*coalesce=*/false);
+        multi.validate = true;
+        const RunEvidence obs = runWithEvidence(t, kind, frames, multi, seed);
+
+        ASSERT_EQ(obs.result.faults, base.result.faults)
+            << policyKindName(kind) << " trial " << trial << " pagesizes "
+            << multi.pageSizes.spell();
+        ASSERT_EQ(obs.result.hits, base.result.hits);
+        ASSERT_EQ(obs.result.evictions, base.result.evictions);
+        ASSERT_EQ(obs.result.dirtyEvictions, base.result.dirtyEvictions);
+        ASSERT_EQ(obs.result.prefetches, base.result.prefetches);
+        ASSERT_EQ(obs.victims, base.victims)
+            << policyKindName(kind) << " diverged in victim order on trial "
+            << trial;
+        ASSERT_EQ(obs.digest, base.digest)
+            << policyKindName(kind) << " observe-only changed the event "
+            << "stream on trial " << trial << " (pagesizes "
+            << multi.pageSizes.spell() << ")";
+        // Every baseline interval column must be value-identical; the
+        // observe-only run merely *adds* page-size columns.
+        for (const auto &[col, values] : base.timeline) {
+            const auto it = obs.timeline.find(col);
+            ASSERT_NE(it, obs.timeline.end()) << "column " << col;
+            ASSERT_EQ(it->second, values)
+                << "interval column " << col << " diverged on trial "
+                << trial;
+        }
+        for (const char *col : {"large_pages", "covered_pages",
+                                "coalesce_promotions"})
+            ASSERT_TRUE(obs.timeline.count(col) == 1)
+                << "observe-only run is missing page-size column " << col;
+    }
+}
+
+TEST(PageSizeProperties, CoalescingIsConsistentWithBeladyAndDeterministic)
+{
+    const auto &kinds = extendedPolicyKinds();
+    for (int trial = 0; trial < kTrials; ++trial) {
+        const auto seed = static_cast<std::uint64_t>(trial) * 7349 + 13;
+        const Trace t = randomTrace(seed);
+        std::mt19937_64 rng(seed ^ 0xc0a1e5ceul);
+        const std::size_t frames = randomFrames(rng, t);
+        const PolicyKind kind =
+            kinds[static_cast<std::size_t>(trial) % kinds.size()];
+
+        // Belady oracle on the 4 KiB-equivalent stream (no coalescing, no
+        // prefetch): provably minimal faults for any demand schedule.
+        StatRegistry min_stats;
+        auto min = makePolicy(PolicyKind::Ideal, t, min_stats);
+        const auto min_result = runPaging(t, *min, frames, min_stats);
+
+        PagingOptions opts;
+        opts.pageSizes = randomPageSizes(rng, frames, /*coalesce=*/true);
+        opts.validate = true; // StateValidator after every fault service
+        const RunEvidence a = runWithEvidence(t, kind, frames, opts, seed);
+
+        // Coalescing changes victim *selection* (the policy sees logical
+        // pages) but never the fault granularity: the run is still a
+        // demand schedule over 4 KiB faults, so MIN still lower-bounds it.
+        EXPECT_GE(a.result.faults, min_result.faults)
+            << policyKindName(kind) << " beat MIN with coalescing on trial "
+            << trial << " (" << opts.pageSizes.spell() << ", " << frames
+            << " frames)";
+        EXPECT_EQ(a.result.faults + a.result.hits, a.result.references);
+        EXPECT_LE(a.result.evictions, a.result.faults);
+
+        // Determinism: the identical configuration replays byte-for-byte.
+        const RunEvidence b = runWithEvidence(t, kind, frames, opts, seed);
+        ASSERT_EQ(b.digest, a.digest)
+            << policyKindName(kind) << " coalescing run is nondeterministic "
+            << "on trial " << trial;
+        ASSERT_EQ(b.victims, a.victims);
+    }
+}
+
+TEST(PageSizeProperties, TimingMultiSizeSafetyUnderValidator)
+{
+    // The timing path exercises the TLB-reach translation keys, the
+    // remap shootdown hook, and the walker; a small trial count keeps the
+    // event-driven runs affordable.
+    for (int trial = 0; trial < 24; ++trial) {
+        const auto seed = static_cast<std::uint64_t>(trial) * 1217 + 29;
+        const Trace t = randomTrace(seed);
+        std::mt19937_64 rng(seed ^ 0x71b17ul);
+        RunConfig cfg;
+        cfg.seed = seed;
+        cfg.oversub = 0.5 + 0.1 * static_cast<double>(rng() % 6);
+        cfg.gpu.validate = true;
+        const std::size_t frames = framesFor(t, cfg.oversub);
+        cfg.gpu.pageSizes =
+            randomPageSizes(rng, frames, /*coalesce=*/trial % 4 != 0);
+        const PolicyKind kind = trial % 3 == 0 ? PolicyKind::Hpe
+            : trial % 3 == 1                   ? PolicyKind::ClockPro
+                                               : PolicyKind::Lru;
+        const auto r = runTiming(t, kind, cfg);
+        EXPECT_GT(r.instructions, 0u) << "trial " << trial;
+        EXPECT_LE(r.faults, t.size());
+    }
+}
+
+} // namespace
+} // namespace hpe

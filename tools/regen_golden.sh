@@ -50,8 +50,11 @@ status=0
 run_cell() {
     local stem="$1"
     shift
+    # CELL_SCALE overrides the default scale for cells whose frame pool
+    # must fit a large page class (a 2 MiB page spans 512 frames).
+    local scale="${CELL_SCALE:-$SCALE}"
     "$BIN" run "$@" --functional \
-        --scale "$SCALE" --seed "$SEED" \
+        --scale "$scale" --seed "$SEED" \
         --trace-digest \
         --interval-stats "$OUT/$stem.intervals.csv" \
         --interval "$INTERVAL" \
@@ -79,8 +82,17 @@ run_cell "KMN_HPE_density" --app KMN --policy HPE --prefetch density
 # policy_switch events (folded into the digest), and the meta_active /
 # meta_switches gauge columns of the interval CSV.
 run_cell "KMN_MetaDuel" --app KMN --policy Meta-duel
+# Two page-size cells: pin the coalescer's event stream (coalesce /
+# splinter events fold into the digest) and the page-size interval
+# columns (large_pages, covered_pages, free-run gauges).  The 2 MiB
+# cell runs at full scale with raised oversubscription because a 2 MiB
+# page spans 512 frames and must fit the pool.
+run_cell "KMN_HPE_64k" --app KMN --policy HPE \
+    --page-sizes 4k,64k --coalesce
+CELL_SCALE=1.0 run_cell "STN_LRU_2m" --app STN --policy LRU \
+    --oversub 0.85 --page-sizes 4k,2m --coalesce
 
-CELLS=$(( ${#APPS[@]} * ${#POLICIES[@]} + 2 ))
+CELLS=$(( ${#APPS[@]} * ${#POLICIES[@]} + 4 ))
 if [[ "$CHECK" == 1 ]]; then
     if [[ "$status" == 0 ]]; then
         echo "golden traces: all $CELLS cells match"
