@@ -1,8 +1,15 @@
 /**
  * @file
- * Load injector for the hpe_serve daemon: N concurrent clients firing
- * mixed hot/cold fingerprint traffic, reporting a latency histogram and
- * the daemon's shed-mode counters as JSON.
+ * Load injector for the hpe_serve daemon: thousands of concurrent
+ * clients firing mixed hot/cold fingerprint traffic over Unix or TCP
+ * endpoints, reporting a latency histogram, the daemon's shed-mode
+ * counters, and a per-shard hit/shed breakdown as JSON.
+ *
+ * The injector is a single-threaded epoll engine — one nonblocking
+ * connection per client, a connect storm up front, then each client
+ * round-trips its requests back-to-back on its persistent connection.
+ * One thread drives 4096 clients comfortably; client count is bounded
+ * by fds, not threads (raiseFdLimit() lifts the soft cap on boot).
  *
  * Hot requests repeat a small set of fingerprints (after the first
  * computation they are cache hits / coalesced waits — the traffic a
@@ -10,21 +17,25 @@
  * (client, iteration) fingerprints that each demand a computation — the
  * traffic tiered shedding exists to push back on.
  *
- * By default the bench hosts its own daemon on a temporary socket with
- * a deliberately small --max-queue so the shed tiers actually engage;
- * pass --socket to drive an externally managed daemon instead (the
- * kill-9 recovery CI leg does).  Every response is counted — ok,
- * cached, coalesced, shed, error — and the run *fails* (exit 1) only
- * when the daemon stops answering, which is the bench's contract: under
- * any admissible load the daemon sheds, it never dies.
+ * By default the bench hosts its own daemon on a temporary endpoint
+ * (--transport picks unix or tcp) with a deliberately small --max-queue
+ * so the shed tiers actually engage; pass --socket to drive an
+ * externally managed daemon instead (the kill-9 recovery CI leg does).
+ * Every response is counted — ok, cached, coalesced, shed, error — and
+ * the run *fails* (exit 1) only when the daemon stops answering or a
+ * --golden digest check mismatches, which is the bench's contract:
+ * under any admissible load the daemon sheds, it never dies, and a
+ * cell served over any socket is byte-identical to the same cell run
+ * in-process.
  *
  *   bench_serve_load [--clients 64] [--requests 12] [--hot 0.7]
- *                    [--scale 0.05] [--max-queue 4] [--socket PATH]
- *                    [--store-dir DIR] [--out FILE|-]
+ *                    [--scale 0.05] [--max-queue 4] [--shards 1]
+ *                    [--transport unix|tcp] [--socket ENDPOINT]
+ *                    [--store-dir DIR] [--golden FILE] [--out FILE|-]
  */
 
 #include <algorithm>
-#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -32,20 +43,26 @@
 #include <iostream>
 #include <random>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include <netdb.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "api/api.hpp"
 #include "api/json.hpp"
+#include "api/protocol.hpp"
 #include "serve/client.hpp"
+#include "serve/endpoint.hpp"
 #include "serve/server.hpp"
 
 namespace {
 
 using hpe::api::json::Object;
 using hpe::api::json::Value;
+namespace protocol = hpe::api::protocol;
 
 struct Options
 {
@@ -54,8 +71,11 @@ struct Options
     double hotFraction = 0.7;
     double scale = 0.05;
     std::size_t maxQueue = 4;
-    std::string socketPath; // empty = self-host
-    std::string storeDir;   // self-host only
+    unsigned shards = 1;
+    std::string transport = "unix"; // self-host listener kind
+    std::string socketPath;         // endpoint text; empty = self-host
+    std::string storeDir;           // self-host only
+    std::string golden;             // digest file; empty = skip the check
     std::string out = "-";
 };
 
@@ -65,16 +85,24 @@ usage(const char *prog)
     std::cerr
         << "usage: " << prog
         << " [--clients N] [--requests N] [--hot F] [--scale S]\n"
-           "       [--max-queue N] [--socket PATH] [--store-dir DIR]\n"
+           "       [--max-queue N] [--shards N] [--transport unix|tcp]\n"
+           "       [--socket ENDPOINT] [--store-dir DIR] [--golden FILE]\n"
            "       [--out FILE|-]\n"
-           "  --clients    concurrent client threads (default 64)\n"
+           "  --clients    concurrent clients, one connection each "
+           "(default 64)\n"
            "  --requests   requests per client (default 12)\n"
            "  --hot        fraction of requests drawn from the shared hot\n"
            "               fingerprint set (default 0.7)\n"
            "  --scale      workload scale of each cell (default 0.05)\n"
            "  --max-queue  self-hosted daemon admission bound (default 4)\n"
-           "  --socket     drive an external daemon instead of self-hosting\n"
+           "  --shards     self-hosted daemon shard count (default 1)\n"
+           "  --transport  self-hosted listener: unix socket or tcp on\n"
+           "               an ephemeral 127.0.0.1 port (default unix)\n"
+           "  --socket     drive an external daemon instead (endpoint\n"
+           "               grammar: unix:/path | tcp:host:port | path)\n"
            "  --store-dir  durable store for the self-hosted daemon\n"
+           "  --golden     golden-cell digest file: created when absent,\n"
+           "               verified byte-for-byte when present\n"
            "  --out        JSON report destination (default '-': stdout)\n";
     std::exit(2);
 }
@@ -103,10 +131,16 @@ parseOptions(int argc, char **argv)
             opt.scale = std::strtod(value(), &end);
         else if (arg == "--max-queue")
             opt.maxQueue = std::strtoull(value(), &end, 10);
+        else if (arg == "--shards")
+            opt.shards = static_cast<unsigned>(std::strtoul(value(), &end, 10));
+        else if (arg == "--transport")
+            opt.transport = value();
         else if (arg == "--socket")
             opt.socketPath = value();
         else if (arg == "--store-dir")
             opt.storeDir = value();
+        else if (arg == "--golden")
+            opt.golden = value();
         else if (arg == "--out")
             opt.out = value();
         else if (arg == "--help" || arg == "-h")
@@ -121,14 +155,15 @@ parseOptions(int argc, char **argv)
         }
     }
     if (opt.clients == 0 || opt.requests == 0 || opt.hotFraction < 0
-        || opt.hotFraction > 1 || opt.scale <= 0)
+        || opt.hotFraction > 1 || opt.scale <= 0 || opt.shards == 0
+        || (opt.transport != "unix" && opt.transport != "tcp"))
         usage(argv[0]);
     return opt;
 }
 
-/** One run-request line for (app fixed, seed varies = fingerprint varies). */
-std::string
-requestLine(double scale, std::uint64_t seed)
+/** The (app fixed, seed varies => fingerprint varies) bench cell. */
+hpe::api::ExperimentRequest
+benchCell(double scale, std::uint64_t seed)
 {
     hpe::api::ExperimentRequest req;
     req.app = "STN";
@@ -137,7 +172,17 @@ requestLine(double scale, std::uint64_t seed)
     req.scale = scale;
     req.seed = seed;
     req.normalize();
-    return Value(Object{{"request", req.toJson()}, {"type", "run"}}).dump();
+    return req;
+}
+
+/** One v2 run-request line for a bench cell. */
+std::string
+requestLine(double scale, std::uint64_t seed)
+{
+    return Value(Object{{"request", benchCell(scale, seed).toJson()},
+                        {"type", "run"},
+                        {"v", protocol::kVersionCurrent}})
+        .dump();
 }
 
 /** Power-of-two latency histogram in microseconds. */
@@ -156,71 +201,6 @@ struct Histogram
     }
 };
 
-struct ClientTotals
-{
-    std::uint64_t ok = 0;
-    std::uint64_t cached = 0;
-    std::uint64_t coalesced = 0;
-    std::uint64_t shed = 0;
-    std::uint64_t errors = 0;
-    std::uint64_t transportFailures = 0;
-    std::vector<std::uint64_t> latenciesUs;
-};
-
-ClientTotals
-runClient(const Options &opt, const std::string &socket, unsigned id,
-          const std::vector<std::string> &hotLines)
-{
-    ClientTotals totals;
-    std::mt19937_64 rng(0x9e3779b97f4a7c15ull ^ id);
-    std::uniform_real_distribution<double> coin(0.0, 1.0);
-    for (unsigned i = 0; i < opt.requests; ++i) {
-        const bool hot = coin(rng) < opt.hotFraction;
-        const std::string &line =
-            hot ? hotLines[rng() % hotLines.size()]
-                : [&]() -> const std::string & {
-                      static thread_local std::string cold;
-                      // Unique (client, iteration) seed => unique
-                      // fingerprint => a genuine computation demand.
-                      cold = requestLine(opt.scale,
-                                         1000 + id * 10000ull + i);
-                      return cold;
-                  }();
-        const auto start = std::chrono::steady_clock::now();
-        std::string response, error;
-        const bool sent =
-            hpe::serve::submitLine(socket, line, response, error);
-        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                            std::chrono::steady_clock::now() - start)
-                            .count();
-        totals.latenciesUs.push_back(static_cast<std::uint64_t>(us));
-        if (!sent) {
-            ++totals.transportFailures;
-            continue;
-        }
-        const auto parsed = hpe::api::json::parse(response);
-        if (!parsed.has_value() || !parsed->isObject()) {
-            ++totals.errors;
-            continue;
-        }
-        const Value *ok = parsed->find("ok");
-        if (ok != nullptr && ok->isBool() && ok->asBool()) {
-            ++totals.ok;
-            if (const Value *c = parsed->find("cached");
-                c != nullptr && c->asBool())
-                ++totals.cached;
-            if (const Value *c = parsed->find("coalesced");
-                c != nullptr && c->asBool())
-                ++totals.coalesced;
-        } else if (parsed->find("retry_after_ms") != nullptr) {
-            ++totals.shed;
-        } else {
-            ++totals.errors;
-        }
-    }
-    return totals;
-}
-
 std::uint64_t
 percentile(std::vector<std::uint64_t> &sorted, double p)
 {
@@ -231,25 +211,479 @@ percentile(std::vector<std::uint64_t> &sorted, double p)
     return sorted[idx];
 }
 
+struct Totals
+{
+    std::uint64_t ok = 0;
+    std::uint64_t cached = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t transportFailures = 0;
+    std::vector<std::uint64_t> latenciesUs;
+};
+
+/**
+ * The storm engine: N persistent nonblocking connections multiplexed
+ * on one epoll, each walking connect -> (send request -> read response
+ * line) x requests -> close.
+ */
+class StormEngine
+{
+  public:
+    StormEngine(const Options &opt, const hpe::serve::Endpoint &endpoint,
+                const std::vector<std::string> &hotLines)
+        : opt_(opt), endpoint_(endpoint), hotLines_(hotLines)
+    {}
+
+    bool
+    run(Totals &totals, std::string &error)
+    {
+        if (endpoint_.kind == hpe::serve::Endpoint::Kind::Tcp
+            && !resolveTcp(error))
+            return false;
+        epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+        if (epollFd_ < 0) {
+            error = std::string("epoll_create1: ") + std::strerror(errno);
+            return false;
+        }
+        clients_.resize(opt_.clients);
+        for (unsigned i = 0; i < opt_.clients; ++i) {
+            clients_[i].id = i;
+            clients_[i].rng.seed(0x9e3779b97f4a7c15ull ^ i);
+            startConnect(clients_[i]);
+        }
+        std::vector<epoll_event> events(512);
+        while (doneCount_ < clients_.size()) {
+            // Unix connect() reports a full backlog as EAGAIN with no
+            // fd to wait on; park those clients and retry each tick.
+            const int timeout = retryQueue_.empty() ? 1000 : 1;
+            const int ready = ::epoll_wait(epollFd_, events.data(),
+                                           static_cast<int>(events.size()),
+                                           timeout);
+            if (ready < 0) {
+                if (errno == EINTR)
+                    continue;
+                error = std::string("epoll_wait: ") + std::strerror(errno);
+                ::close(epollFd_);
+                return false;
+            }
+            for (int e = 0; e < ready; ++e) {
+                Client &client = clients_[events[e].data.u32];
+                if (client.done)
+                    continue;
+                if ((events[e].events & EPOLLOUT) != 0)
+                    onWritable(client);
+                if (!client.done && (events[e].events & EPOLLIN) != 0)
+                    onReadable(client);
+                if (!client.done
+                    && (events[e].events & (EPOLLERR | EPOLLHUP)) != 0
+                    && (events[e].events & (EPOLLIN | EPOLLOUT)) == 0)
+                    failTransport(client);
+            }
+            std::vector<std::uint32_t> retries;
+            retries.swap(retryQueue_);
+            for (const std::uint32_t idx : retries)
+                if (!clients_[idx].done)
+                    startConnect(clients_[idx]);
+        }
+        ::close(epollFd_);
+        for (Client &client : clients_) {
+            totals.ok += client.totals.ok;
+            totals.cached += client.totals.cached;
+            totals.coalesced += client.totals.coalesced;
+            totals.shed += client.totals.shed;
+            totals.errors += client.totals.errors;
+            totals.transportFailures += client.totals.transportFailures;
+            totals.latenciesUs.insert(totals.latenciesUs.end(),
+                                      client.totals.latenciesUs.begin(),
+                                      client.totals.latenciesUs.end());
+        }
+        return true;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Client
+    {
+        unsigned id = 0;
+        int fd = -1;
+        bool connecting = false;
+        bool done = false;
+        unsigned sent = 0;
+        unsigned connectAttempts = 0;
+        std::string out;
+        std::size_t ooff = 0;
+        std::string in;
+        Clock::time_point start;
+        std::mt19937_64 rng;
+        Totals totals;
+    };
+
+    bool
+    resolveTcp(std::string &error)
+    {
+        addrinfo hints{};
+        hints.ai_family = AF_UNSPEC;
+        hints.ai_socktype = SOCK_STREAM;
+        addrinfo *result = nullptr;
+        const std::string port = std::to_string(endpoint_.port);
+        if (const int rc = ::getaddrinfo(endpoint_.host.c_str(), port.c_str(),
+                                         &hints, &result);
+            rc != 0) {
+            error = "resolve('" + endpoint_.spell()
+                    + "'): " + ::gai_strerror(rc);
+            return false;
+        }
+        std::memcpy(&tcpAddr_, result->ai_addr, result->ai_addrlen);
+        tcpAddrLen_ = result->ai_addrlen;
+        tcpFamily_ = result->ai_family;
+        ::freeaddrinfo(result);
+        return true;
+    }
+
+    void
+    startConnect(Client &client)
+    {
+        ++client.connectAttempts;
+        sockaddr_un unixAddr{};
+        const sockaddr *addr = nullptr;
+        socklen_t addrLen = 0;
+        int family = AF_UNIX;
+        if (endpoint_.kind == hpe::serve::Endpoint::Kind::Unix) {
+            unixAddr.sun_family = AF_UNIX;
+            std::memcpy(unixAddr.sun_path, endpoint_.path.c_str(),
+                        endpoint_.path.size() + 1);
+            addr = reinterpret_cast<const sockaddr *>(&unixAddr);
+            addrLen = sizeof(unixAddr);
+        } else {
+            addr = reinterpret_cast<const sockaddr *>(&tcpAddr_);
+            addrLen = tcpAddrLen_;
+            family = tcpFamily_;
+        }
+        client.fd = ::socket(family, SOCK_STREAM | SOCK_NONBLOCK
+                                         | SOCK_CLOEXEC,
+                             0);
+        if (client.fd < 0) {
+            failTransport(client);
+            return;
+        }
+        if (::connect(client.fd, addr, addrLen) == 0) {
+            client.connecting = false;
+            registerFd(client, EPOLLIN);
+            beginRequest(client);
+            return;
+        }
+        if (errno == EINPROGRESS) {
+            client.connecting = true;
+            registerFd(client, EPOLLOUT);
+            return;
+        }
+        ::close(client.fd);
+        client.fd = -1;
+        // Backlog pressure (EAGAIN on unix, refusals under a connect
+        // storm): bounded retry, then count a transport failure.
+        if ((errno == EAGAIN || errno == ECONNREFUSED)
+            && client.connectAttempts < 1000) {
+            retryQueue_.push_back(client.id);
+            return;
+        }
+        failTransport(client);
+    }
+
+    void
+    registerFd(Client &client, std::uint32_t mask)
+    {
+        epoll_event ev{};
+        ev.events = mask;
+        ev.data.u32 = client.id;
+        ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, client.fd, &ev);
+    }
+
+    void
+    updateInterest(Client &client)
+    {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        if (client.ooff < client.out.size())
+            ev.events |= EPOLLOUT;
+        ev.data.u32 = client.id;
+        ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, client.fd, &ev);
+    }
+
+    void
+    beginRequest(Client &client)
+    {
+        const bool hot = std::uniform_real_distribution<double>(0.0, 1.0)(
+                             client.rng)
+                         < opt_.hotFraction;
+        if (hot) {
+            client.out = hotLines_[client.rng() % hotLines_.size()];
+        } else {
+            // Unique (client, iteration) seed => unique fingerprint =>
+            // a genuine computation demand.
+            client.out = requestLine(opt_.scale,
+                                     1000 + client.id * 10000ull
+                                         + client.sent);
+        }
+        client.out += '\n';
+        client.ooff = 0;
+        client.start = Clock::now();
+        flush(client);
+    }
+
+    void
+    flush(Client &client)
+    {
+        while (client.ooff < client.out.size()) {
+            const ssize_t n = ::send(client.fd,
+                                     client.out.data() + client.ooff,
+                                     client.out.size() - client.ooff,
+                                     MSG_NOSIGNAL);
+            if (n > 0) {
+                client.ooff += static_cast<std::size_t>(n);
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                break;
+            failTransport(client);
+            return;
+        }
+        updateInterest(client);
+    }
+
+    void
+    onWritable(Client &client)
+    {
+        if (client.connecting) {
+            int soError = 0;
+            socklen_t len = sizeof soError;
+            ::getsockopt(client.fd, SOL_SOCKET, SO_ERROR, &soError, &len);
+            if (soError != 0) {
+                ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, client.fd, nullptr);
+                ::close(client.fd);
+                client.fd = -1;
+                client.connecting = false;
+                if ((soError == ECONNREFUSED || soError == EAGAIN
+                     || soError == ETIMEDOUT)
+                    && client.connectAttempts < 1000) {
+                    retryQueue_.push_back(client.id);
+                    return;
+                }
+                failTransport(client);
+                return;
+            }
+            client.connecting = false;
+            beginRequest(client);
+            return;
+        }
+        flush(client);
+    }
+
+    void
+    onReadable(Client &client)
+    {
+        char chunk[8192];
+        for (;;) {
+            const ssize_t n = ::recv(client.fd, chunk, sizeof chunk, 0);
+            if (n > 0) {
+                client.in.append(chunk, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                break;
+            failTransport(client); // EOF or reset mid-conversation
+            return;
+        }
+        std::size_t newline;
+        while (!client.done
+               && (newline = client.in.find('\n')) != std::string::npos) {
+            const std::string line = client.in.substr(0, newline);
+            client.in.erase(0, newline + 1);
+            recordResponse(client, line);
+            if (client.done)
+                return;
+            if (client.sent < opt_.requests)
+                beginRequest(client);
+            else
+                finish(client);
+        }
+    }
+
+    void
+    recordResponse(Client &client, const std::string &line)
+    {
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            Clock::now() - client.start)
+                            .count();
+        client.totals.latenciesUs.push_back(static_cast<std::uint64_t>(us));
+        ++client.sent;
+        const auto parsed = hpe::api::json::parse(line);
+        if (!parsed.has_value() || !parsed->isObject()) {
+            ++client.totals.errors;
+            return;
+        }
+        const Value *ok = parsed->find("ok");
+        if (ok != nullptr && ok->isBool() && ok->asBool()) {
+            ++client.totals.ok;
+            if (const Value *c = parsed->find("cached");
+                c != nullptr && c->asBool())
+                ++client.totals.cached;
+            if (const Value *c = parsed->find("coalesced");
+                c != nullptr && c->asBool())
+                ++client.totals.coalesced;
+        } else if (protocol::retryAfterMs(*parsed).has_value()) {
+            ++client.totals.shed;
+        } else {
+            ++client.totals.errors;
+        }
+    }
+
+    void
+    failTransport(Client &client)
+    {
+        ++client.totals.transportFailures;
+        finish(client);
+    }
+
+    void
+    finish(Client &client)
+    {
+        if (client.fd >= 0) {
+            ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, client.fd, nullptr);
+            ::close(client.fd);
+            client.fd = -1;
+        }
+        if (!client.done) {
+            client.done = true;
+            ++doneCount_;
+        }
+    }
+
+    const Options &opt_;
+    const hpe::serve::Endpoint &endpoint_;
+    const std::vector<std::string> &hotLines_;
+    int epollFd_ = -1;
+    std::vector<Client> clients_;
+    std::vector<std::uint32_t> retryQueue_;
+    std::size_t doneCount_ = 0;
+
+    sockaddr_storage tcpAddr_{};
+    socklen_t tcpAddrLen_ = 0;
+    int tcpFamily_ = AF_UNSPEC;
+};
+
+/**
+ * The golden-cell check: round-trip every hot cell over the socket
+ * *before* the storm, compare each served result byte-for-byte against
+ * the same cell computed in-process, and record (or verify) the digest
+ * file.  Proves the serving stack — wire protocol, sharding, store —
+ * never perturbs a result.
+ */
+bool
+goldenCheck(const Options &opt, const std::string &endpointText,
+            std::vector<std::string> &mismatches)
+{
+    std::vector<std::pair<std::string, std::string>> cells; // fp, dump
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const hpe::api::ExperimentRequest req = benchCell(opt.scale, seed);
+        const std::string local =
+            hpe::api::runExperiment(req).toJson().dump();
+        const std::string line =
+            Value(Object{{"request", req.toJson()},
+                         {"type", "run"},
+                         {"v", protocol::kVersionCurrent}})
+                .dump();
+        std::string response, error;
+        if (!hpe::serve::submitLine(endpointText, line, response, error)) {
+            mismatches.push_back("cell seed " + std::to_string(seed)
+                                 + ": transport: " + error);
+            continue;
+        }
+        const auto parsed = hpe::api::json::parse(response);
+        const Value *result =
+            parsed.has_value() ? parsed->find("result") : nullptr;
+        const Value *fp =
+            parsed.has_value() ? parsed->find("fingerprint") : nullptr;
+        if (result == nullptr || fp == nullptr || !fp->isString()) {
+            mismatches.push_back("cell seed " + std::to_string(seed)
+                                 + ": malformed response: " + response);
+            continue;
+        }
+        const std::string served = result->dump();
+        if (served != local)
+            mismatches.push_back("cell seed " + std::to_string(seed)
+                                 + ": served result differs from "
+                                   "in-process result");
+        cells.emplace_back(fp->asString(), served);
+    }
+    if (!mismatches.empty())
+        return false;
+
+    if (opt.golden.empty())
+        return true;
+    std::ifstream existing(opt.golden);
+    if (existing) {
+        // Verify mode: the file pins fingerprint + result per cell.
+        std::size_t i = 0;
+        std::string line;
+        while (std::getline(existing, line)) {
+            if (line.empty())
+                continue;
+            const std::size_t tab = line.find('\t');
+            if (tab == std::string::npos || i >= cells.size()) {
+                mismatches.push_back("golden file malformed or has extra "
+                                     "cells");
+                return false;
+            }
+            if (line.substr(0, tab) != cells[i].first
+                || line.substr(tab + 1) != cells[i].second)
+                mismatches.push_back("golden cell " + std::to_string(i)
+                                     + " differs from recorded digest");
+            ++i;
+        }
+        if (i != cells.size())
+            mismatches.push_back("golden file is missing cells");
+        return mismatches.empty();
+    }
+    std::ofstream record(opt.golden);
+    if (!record) {
+        mismatches.push_back("cannot write golden file '" + opt.golden
+                             + "'");
+        return false;
+    }
+    for (const auto &[fp, dump] : cells)
+        record << fp << '\t' << dump << '\n';
+    return true;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Options opt = parseOptions(argc, argv);
+    hpe::serve::raiseFdLimit();
 
     // Self-host unless an external daemon was named.
     std::unique_ptr<hpe::serve::Server> server;
-    std::string socket = opt.socketPath;
+    std::string endpointText = opt.socketPath;
     char tmpl[] = "/tmp/hpe_serve_load.XXXXXX";
-    if (socket.empty()) {
+    if (endpointText.empty()) {
         if (::mkdtemp(tmpl) == nullptr) {
             std::cerr << "mkdtemp: " << std::strerror(errno) << "\n";
             return 1;
         }
-        socket = std::string(tmpl) + "/load.sock";
         hpe::serve::ServeConfig cfg;
-        cfg.socketPath = socket;
+        if (opt.transport == "tcp")
+            cfg.socketPath = "tcp:127.0.0.1:0";
+        else
+            cfg.socketPath = std::string(tmpl) + "/load.sock";
+        cfg.shards = opt.shards;
         cfg.maxQueue = opt.maxQueue;
         cfg.storeDir = opt.storeDir;
         server = std::make_unique<hpe::serve::Server>(cfg);
@@ -258,6 +692,7 @@ main(int argc, char **argv)
             std::cerr << "server start failed: " << error << "\n";
             return 1;
         }
+        endpointText = server->boundEndpoints().front();
     }
 
     // The hot set: 4 distinct cells every client keeps re-requesting.
@@ -265,39 +700,39 @@ main(int argc, char **argv)
     for (std::uint64_t seed = 1; seed <= 4; ++seed)
         hotLines.push_back(requestLine(opt.scale, seed));
 
+    // Golden check first: the hot cells round-trip once while the
+    // daemon is quiet, proving served == in-process byte-for-byte
+    // (and warming the hot set).
+    std::vector<std::string> goldenMismatches;
+    const bool goldenOk = goldenCheck(opt, endpointText, goldenMismatches);
+    for (const std::string &m : goldenMismatches)
+        std::cerr << "golden: " << m << "\n";
+
     const auto wallStart = std::chrono::steady_clock::now();
-    std::vector<ClientTotals> perClient(opt.clients);
-    std::vector<std::thread> threads;
-    threads.reserve(opt.clients);
-    for (unsigned c = 0; c < opt.clients; ++c)
-        threads.emplace_back([&, c] {
-            perClient[c] = runClient(opt, socket, c, hotLines);
-        });
-    for (std::thread &t : threads)
-        t.join();
+    Totals totals;
+    {
+        hpe::serve::Endpoint endpoint;
+        std::string error;
+        if (!hpe::serve::parseEndpoint(endpointText, endpoint, error)) {
+            std::cerr << error << "\n";
+            return 1;
+        }
+        StormEngine engine(opt, endpoint, hotLines);
+        if (!engine.run(totals, error)) {
+            std::cerr << "storm engine failed: " << error << "\n";
+            return 1;
+        }
+    }
     const double wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now()
                                       - wallStart)
             .count();
 
-    ClientTotals totals;
-    for (const ClientTotals &ct : perClient) {
-        totals.ok += ct.ok;
-        totals.cached += ct.cached;
-        totals.coalesced += ct.coalesced;
-        totals.shed += ct.shed;
-        totals.errors += ct.errors;
-        totals.transportFailures += ct.transportFailures;
-        totals.latenciesUs.insert(totals.latenciesUs.end(),
-                                  ct.latenciesUs.begin(),
-                                  ct.latenciesUs.end());
-    }
-
     // The daemon must have survived the whole run: the final stats
     // round trip doubles as the liveness check.
     std::string statsResponse, error;
     const bool alive = hpe::serve::submitLine(
-        socket, R"({"type":"stats"})", statsResponse, error);
+        endpointText, R"({"type":"stats","v":2})", statsResponse, error);
     Value stats;
     if (alive)
         if (auto parsed = hpe::api::json::parse(statsResponse);
@@ -317,6 +752,12 @@ main(int argc, char **argv)
                 {"le_us", std::uint64_t{1} << b},
             }));
 
+    // Per-shard breakdown straight from the daemon's stats response
+    // (empty when driving a pre-sharding daemon).
+    Value shardBreakdown{hpe::api::json::Array{}};
+    if (const Value *shards = stats.find("shards"); shards != nullptr)
+        shardBreakdown = *shards;
+
     Object report{
         {"clients", opt.clients},
         {"config",
@@ -325,8 +766,12 @@ main(int argc, char **argv)
                 {"requests_per_client", opt.requests},
                 {"scale", opt.scale},
                 {"self_hosted", server != nullptr},
-                {"store_dir", opt.storeDir}}},
+                {"shards", opt.shards},
+                {"store_dir", opt.storeDir},
+                {"transport", opt.transport}}},
         {"daemon_alive", alive},
+        {"endpoint", endpointText},
+        {"golden_ok", goldenOk},
         {"latency_us",
          Object{{"histogram", std::move(buckets)},
                 {"max", totals.latenciesUs.empty()
@@ -343,6 +788,7 @@ main(int argc, char **argv)
                 {"shed", totals.shed},
                 {"total", static_cast<std::uint64_t>(totals.latenciesUs.size())},
                 {"transport_failures", totals.transportFailures}}},
+        {"shards", std::move(shardBreakdown)},
         {"stats", std::move(stats)},
         {"wall_seconds", wallSeconds},
     };
@@ -364,10 +810,14 @@ main(int argc, char **argv)
         std::cerr << "FAIL: daemon stopped answering: " << error << "\n";
         return 1;
     }
+    if (!goldenOk) {
+        std::cerr << "FAIL: golden-cell digest check failed\n";
+        return 1;
+    }
     std::cerr << "bench_serve_load: " << totals.latenciesUs.size()
-              << " requests, " << totals.ok << " ok (" << totals.cached
-              << " cached, " << totals.coalesced << " coalesced), "
-              << totals.shed << " shed, " << totals.errors
+              << " requests over " << endpointText << ", " << totals.ok
+              << " ok (" << totals.cached << " cached, " << totals.coalesced
+              << " coalesced), " << totals.shed << " shed, " << totals.errors
               << " errors, " << totals.transportFailures
               << " transport failures\n";
     return 0;

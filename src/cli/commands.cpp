@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -14,9 +15,11 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "api/protocol.hpp"
 #include "api/registry.hpp"
 #include "common/table.hpp"
 #include "serve/client.hpp"
+#include "serve/endpoint.hpp"
 #include "serve/server.hpp"
 #include "sim/sweep.hpp"
 #include "sim/tournament.hpp"
@@ -482,14 +485,33 @@ listCommand(const Args &args, std::ostream &os)
 int
 serveCommand(const Args &args, std::ostream &os)
 {
-    args.allowOnly({"socket", "jobs", "max-queue", "cache-capacity",
-                    "deadline-ms", "store-dir", "no-store",
-                    "store-segment-bytes", "store-sync", "shed-hit-only",
-                    "shed-reject"});
+    args.allowOnly({"socket", "listen", "shards", "endpoint-file", "jobs",
+                    "max-queue", "cache-capacity", "deadline-ms", "store-dir",
+                    "no-store", "store-segment-bytes", "store-sync",
+                    "shed-hit-only", "shed-reject"});
     serve::ServeConfig cfg;
     cfg.socketPath = args.get("socket");
-    if (cfg.socketPath.empty())
-        fatal("serve requires --socket PATH");
+    // --listen accepts a comma-separated endpoint list (the option map
+    // keeps one value per key), each in the endpoint grammar.
+    if (const std::string listen = args.get("listen"); !listen.empty()) {
+        std::size_t start = 0;
+        while (start <= listen.size()) {
+            const std::size_t comma = listen.find(',', start);
+            const std::string item = listen.substr(
+                start, comma == std::string::npos ? std::string::npos
+                                                  : comma - start);
+            if (!item.empty())
+                cfg.listen.push_back(item);
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+    }
+    if (cfg.socketPath.empty() && cfg.listen.empty())
+        fatal("serve requires --socket ENDPOINT or --listen ENDPOINTS");
+    cfg.shards = static_cast<unsigned>(args.getUint("shards", 1));
+    if (cfg.shards == 0)
+        fatal("--shards must be at least 1");
     cfg.jobs = static_cast<unsigned>(args.getUint("jobs", 0));
     cfg.maxQueue = args.getUint("max-queue", 64);
     cfg.cacheCapacity = args.getUint("cache-capacity", 1024);
@@ -514,15 +536,37 @@ serveCommand(const Args &args, std::ostream &os)
     cfg.shedHitOnlyDepth = args.getUint("shed-hit-only", 0);
     cfg.shedRejectDepth = args.getUint("shed-reject", 0);
 
+    serve::raiseFdLimit();
     serve::Server server(cfg);
     serve::Server::installSignalHandlers(&server);
     std::string error;
     if (!server.start(error))
         fatal("{}", error);
-    inform("hpe_serve listening on {} ({} jobs, queue {}, cache {}, "
-           "store {})",
-           cfg.socketPath, server.jobs(), cfg.maxQueue, cfg.cacheCapacity,
-           cfg.storeDir.empty() ? "off" : cfg.storeDir);
+    std::string where;
+    for (const std::string &endpoint : server.boundEndpoints()) {
+        if (!where.empty())
+            where += ", ";
+        where += endpoint;
+    }
+    // Ephemeral TCP ports (tcp:host:0) resolve at bind time; scripts
+    // and tests learn the real endpoints from this file.  tmp+rename,
+    // so a poller never reads a half-written list.
+    if (const std::string file = args.get("endpoint-file"); !file.empty()) {
+        const std::string tmp = file + ".tmp";
+        {
+            std::ofstream out(tmp);
+            if (!out)
+                fatal("cannot write '{}'", tmp);
+            for (const std::string &endpoint : server.boundEndpoints())
+                out << endpoint << "\n";
+        }
+        if (std::rename(tmp.c_str(), file.c_str()) != 0)
+            fatal("cannot rename '{}' to '{}'", tmp, file);
+    }
+    inform("hpe_serve listening on {} ({} shards, {} jobs, queue {}, "
+           "cache {}, store {})",
+           where, server.shards(), server.jobs(), cfg.maxQueue,
+           cfg.cacheCapacity, cfg.storeDir.empty() ? "off" : cfg.storeDir);
     server.wait();
     inform("hpe_serve draining");
     server.stop();
@@ -541,10 +585,14 @@ submitCommand(const Args &args, std::ostream &os)
          "trace-ring", "interval"}));
     const std::string socket = args.get("socket");
     if (socket.empty())
-        fatal("submit requires --socket PATH");
+        fatal("submit requires --socket ENDPOINT "
+              "(unix:/path, tcp:host:port, or a bare socket path)");
 
+    // submit speaks v2; the daemon answers v1 clients (no "v" field)
+    // in the legacy shape forever — see docs/api.md.
     const std::string type = args.get("type", "run");
-    api::json::Object envelope{{"type", type}};
+    api::json::Object envelope{{"type", type},
+                               {"v", api::protocol::kVersionCurrent}};
     if (args.has("id"))
         envelope.emplace("id", args.get("id"));
     if (args.has("deadline-ms"))
@@ -573,15 +621,16 @@ submitCommand(const Args &args, std::ostream &os)
         if (!parsed.has_value() || !parsed->isObject())
             fatal("malformed response from daemon: {}", response);
         const api::json::Value *ok = parsed->find("ok");
-        const api::json::Value *retryAfter = parsed->find("retry_after_ms");
+        // The hint lives in the v2 error object (or top-level in a v1
+        // response); retryAfterMs() reads both shapes.
+        const auto retryAfter = api::protocol::retryAfterMs(*parsed);
         if ((ok != nullptr && ok->isBool() && ok->asBool())
-            || retryAfter == nullptr || !retryAfter->isNumber()
-            || attempt >= maxRetries)
+            || !retryAfter.has_value() || attempt >= maxRetries)
             break;
         // Hint + up to 50% jitter, capped so a pathological hint cannot
         // wedge the CLI; decorrelated retries spread the thundering herd.
         const std::uint64_t hint = std::min<std::uint64_t>(
-            std::max<std::uint64_t>(retryAfter->asUint(), 1), 2000);
+            std::max<std::uint64_t>(*retryAfter, 1), 2000);
         const std::uint64_t sleepMs = hint + jitterRng() % (hint / 2 + 1);
         inform("daemon busy (attempt {}/{}); retrying in {} ms",
                attempt + 1, maxRetries, sleepMs);
@@ -628,16 +677,18 @@ printUsage(std::ostream &os)
           "           [--csv] [chaos options as for run]\n"
           "  trace    write an application's page-visit trace to a file\n"
           "           --app HSD --out hsd.trace\n"
-          "  serve    experiment-serving daemon on a Unix socket (docs/api.md)\n"
-          "           --socket PATH [--jobs N] [--max-queue 64]\n"
-          "           [--cache-capacity 1024] [--deadline-ms N]\n"
-          "           [--store-dir DIR|--no-store] [--store-sync]\n"
-          "           [--store-segment-bytes N] [--shed-hit-only N]\n"
-          "           [--shed-reject N]\n"
+          "  serve    sharded experiment-serving daemon (docs/api.md)\n"
+          "           --socket ENDPOINT [--listen EP1,EP2,...] [--shards N]\n"
+          "           endpoints: unix:/path | tcp:host:port | bare unix path\n"
+          "           (tcp:host:0 = ephemeral; see --endpoint-file FILE)\n"
+          "           [--jobs N] [--max-queue 64] [--cache-capacity 1024]\n"
+          "           [--deadline-ms N] [--store-dir DIR|--no-store]\n"
+          "           [--store-sync] [--store-segment-bytes N]\n"
+          "           [--shed-hit-only N] [--shed-reject N]\n"
           "  submit   send one request to a running daemon, print the response\n"
-          "           --socket PATH [run options] [--trace-digest] [--interval N]\n"
-          "           [--type run|stats|ping|shutdown] [--deadline-ms N]\n"
-          "           [--id TAG] [--retries 5]\n"
+          "           --socket ENDPOINT [run options] [--trace-digest]\n"
+          "           [--interval N] [--type run|stats|ping|shutdown]\n"
+          "           [--deadline-ms N] [--id TAG] [--retries 5]\n"
           "  tournament  policy-tournament leaderboard over (app, policy,\n"
           "           prefetcher, oversubscription) cells; docs/adaptive-\n"
           "           policies.md explains the standings\n"

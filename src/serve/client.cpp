@@ -4,38 +4,23 @@
 #include <cstring>
 
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "common/log.hpp"
+#include "serve/endpoint.hpp"
 
 namespace hpe::serve {
 
 bool
-submitLine(const std::string &socketPath, const std::string &requestLine,
+submitLine(const std::string &endpointText, const std::string &requestLine,
            std::string &response, std::string &error)
 {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (socketPath.size() >= sizeof(addr.sun_path)) {
-        error = strformat("socket path '{}' exceeds {} bytes", socketPath,
-                          sizeof(addr.sun_path) - 1);
+    Endpoint endpoint;
+    if (!parseEndpoint(endpointText, endpoint, error))
         return false;
-    }
-    std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
-
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0) {
-        error = strformat("socket(): {}", std::strerror(errno));
+    const int fd = connectEndpoint(endpoint, error);
+    if (fd < 0)
         return false;
-    }
-    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        error = strformat("connect('{}'): {} (is hpe_serve running?)",
-                          socketPath, std::strerror(errno));
-        ::close(fd);
-        return false;
-    }
 
     std::string line = requestLine;
     line += '\n';

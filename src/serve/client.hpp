@@ -1,9 +1,10 @@
 /**
  * @file
- * Minimal blocking client for the hpe_serve socket protocol — one
+ * Minimal blocking client for the hpe_serve wire protocol — one
  * request line out, one response line back.  Used by `hpe_sim submit`
  * and by the serve tests; scripted clients (CI, shell) can speak the
- * same protocol with nothing fancier than `nc -U`.
+ * same protocol with nothing fancier than `nc -U` (or plain `nc` for
+ * TCP endpoints).
  */
 
 #pragma once
@@ -13,14 +14,17 @@
 namespace hpe::serve {
 
 /**
- * Connect to the daemon at @p socketPath, send @p requestLine (a
- * serialized JSON object; the trailing '\n' is appended here), and read
- * one newline-delimited response.
+ * Connect to the daemon at @p endpointText — any endpoint-grammar
+ * spelling (`unix:/path`, `tcp:host:port`, or a bare Unix socket path;
+ * see serve/endpoint.hpp) — send @p requestLine (a serialized JSON
+ * object; the trailing '\n' is appended here), and read one
+ * newline-delimited response.
  *
  * @return true with @p response filled on success; false with @p error
  *         describing the failure (no daemon, connection dropped, ...).
  */
-bool submitLine(const std::string &socketPath, const std::string &requestLine,
-                std::string &response, std::string &error);
+bool submitLine(const std::string &endpointText,
+                const std::string &requestLine, std::string &response,
+                std::string &error);
 
 } // namespace hpe::serve

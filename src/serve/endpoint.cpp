@@ -1,0 +1,164 @@
+#include "serve/endpoint.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netdb.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/log.hpp"
+
+namespace hpe::serve {
+
+std::string
+Endpoint::spell() const
+{
+    if (kind == Kind::Unix)
+        return "unix:" + path;
+    return strformat("tcp:{}:{}", host, port);
+}
+
+bool
+parseEndpoint(const std::string &text, Endpoint &endpoint, std::string &error)
+{
+    if (text.empty()) {
+        error = "endpoint is empty";
+        return false;
+    }
+    if (text.rfind("unix:", 0) == 0) {
+        endpoint.kind = Endpoint::Kind::Unix;
+        endpoint.path = text.substr(5);
+        if (endpoint.path.empty()) {
+            error = "endpoint 'unix:' needs a socket path";
+            return false;
+        }
+        return true;
+    }
+    if (text.rfind("tcp:", 0) == 0) {
+        const std::string rest = text.substr(4);
+        // host:port, splitting at the *last* colon so IPv6 literals
+        // ("tcp:::1:9000") keep their colons on the host side.
+        const std::size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0
+            || colon + 1 == rest.size()) {
+            error = strformat("endpoint '{}' must be tcp:host:port", text);
+            return false;
+        }
+        endpoint.kind = Endpoint::Kind::Tcp;
+        endpoint.host = rest.substr(0, colon);
+        const std::string portText = rest.substr(colon + 1);
+        std::uint64_t port = 0;
+        for (const char c : portText) {
+            if (c < '0' || c > '9') {
+                error = strformat("endpoint '{}': port '{}' is not a number",
+                                  text, portText);
+                return false;
+            }
+            port = port * 10 + static_cast<std::uint64_t>(c - '0');
+            if (port > 65535) {
+                error = strformat("endpoint '{}': port {} exceeds 65535",
+                                  text, portText);
+                return false;
+            }
+        }
+        endpoint.port = static_cast<std::uint16_t>(port);
+        return true;
+    }
+    // Back-compat: every pre-grammar spelling was a Unix socket path.
+    endpoint.kind = Endpoint::Kind::Unix;
+    endpoint.path = text;
+    return true;
+}
+
+namespace {
+
+int
+connectUnix(const Endpoint &endpoint, std::string &error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.path.size() >= sizeof(addr.sun_path)) {
+        error = strformat("socket path '{}' exceeds {} bytes", endpoint.path,
+                          sizeof(addr.sun_path) - 1);
+        return -1;
+    }
+    std::memcpy(addr.sun_path, endpoint.path.c_str(),
+                endpoint.path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        error = strformat("socket(): {}", std::strerror(errno));
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = strformat("connect('{}'): {} (is hpe_serve running?)",
+                          endpoint.path, std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTcp(const Endpoint &endpoint, std::string &error)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *result = nullptr;
+    const std::string portText = std::to_string(endpoint.port);
+    if (const int rc = ::getaddrinfo(endpoint.host.c_str(), portText.c_str(),
+                                     &hints, &result);
+        rc != 0) {
+        error = strformat("resolve('{}'): {}", endpoint.spell(),
+                          ::gai_strerror(rc));
+        return -1;
+    }
+    int fd = -1;
+    std::string lastError = "no addresses";
+    for (const addrinfo *ai = result; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                      ai->ai_protocol);
+        if (fd < 0) {
+            lastError = strformat("socket(): {}", std::strerror(errno));
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        lastError = strformat("connect('{}'): {} (is hpe_serve running?)",
+                              endpoint.spell(), std::strerror(errno));
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(result);
+    if (fd < 0)
+        error = lastError;
+    return fd;
+}
+
+} // namespace
+
+int
+connectEndpoint(const Endpoint &endpoint, std::string &error)
+{
+    return endpoint.kind == Endpoint::Kind::Unix
+               ? connectUnix(endpoint, error)
+               : connectTcp(endpoint, error);
+}
+
+void
+raiseFdLimit()
+{
+    rlimit limit{};
+    if (::getrlimit(RLIMIT_NOFILE, &limit) != 0)
+        return;
+    if (limit.rlim_cur >= limit.rlim_max)
+        return;
+    limit.rlim_cur = limit.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &limit);
+}
+
+} // namespace hpe::serve

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * One endpoint grammar for every way of naming an hpe_serve listener:
+ *
+ *     unix:/path/to/socket      Unix-domain stream socket
+ *     tcp:host:port             TCP (IPv4/IPv6 via getaddrinfo)
+ *     /bare/path                back-compat: a bare path means unix
+ *
+ * The grammar is shared by the daemon (`--socket`, `--listen`), the
+ * client (`submitLine`), `hpe_sim submit`, the load bench, and the
+ * shell tooling, so "where the daemon lives" is one string everywhere.
+ * `tcp:host:0` asks the kernel for an ephemeral port; the daemon
+ * reports the resolved spelling through Server::boundEndpoints() (and
+ * `serve --endpoint-file`), which is how tests and scripts find it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hpe::serve {
+
+/** A parsed endpoint: where a daemon listens / a client connects. */
+struct Endpoint
+{
+    enum class Kind { Unix, Tcp };
+
+    Kind kind = Kind::Unix;
+    /** Unix: the socket filesystem path. */
+    std::string path;
+    /** TCP: host name or address literal. */
+    std::string host;
+    /** TCP: port; 0 = ephemeral (listen only). */
+    std::uint16_t port = 0;
+
+    /** Canonical spelling ("unix:/path" or "tcp:host:port"). */
+    std::string spell() const;
+};
+
+/**
+ * Parse @p text against the endpoint grammar.  @return false with
+ * @p error filled on a malformed spelling (empty path, bad port, ...).
+ */
+bool parseEndpoint(const std::string &text, Endpoint &endpoint,
+                   std::string &error);
+
+/**
+ * Connect a blocking stream socket to @p endpoint.  @return the fd, or
+ * -1 with @p error filled.
+ */
+int connectEndpoint(const Endpoint &endpoint, std::string &error);
+
+/**
+ * Raise RLIMIT_NOFILE's soft limit to the hard limit, best-effort.
+ * Thousands of concurrent connections need thousands of fds; the
+ * default soft limit (often 1024) starves the daemon and the load
+ * injector long before memory does.
+ */
+void raiseFdLimit();
+
+} // namespace hpe::serve

@@ -58,6 +58,9 @@ class ResultCache
         /** Did the computation fail?  (Failed entries are cached too —
          *  deterministic experiments fail deterministically.) */
         bool failed = false;
+        /** Completion callbacks parked by whenDone(), fired once by
+         *  complete().  Guarded by the cache mutex. */
+        std::vector<std::function<void()>> callbacks;
     };
 
     using EntryPtr = std::shared_ptr<Entry>;
@@ -119,16 +122,42 @@ class ResultCache
     complete(const EntryPtr &entry, std::string payload, bool failed = false)
     {
         std::vector<std::string> evicted;
+        std::vector<std::function<void()>> callbacks;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             entry->payload = std::move(payload);
             entry->failed = failed;
             entry->done = true;
+            callbacks.swap(entry->callbacks);
             --pending_;
             evictOverflow(evicted);
         }
         ready_.notify_all();
+        // Outside the lock: a callback may call back into the cache.
+        for (const auto &callback : callbacks)
+            callback();
         notifyEvicted(evicted);
+    }
+
+    /**
+     * Invoke @p callback once @p entry completes — immediately (on the
+     * calling thread) when it already has, else from the completing
+     * thread, after `done`/`payload`/`failed` are published and the
+     * cache lock is released.  The daemon's event-driven front end
+     * parks its Wait/Compute responders here instead of blocking a
+     * thread in wait().
+     */
+    void
+    whenDone(const EntryPtr &entry, std::function<void()> callback)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!entry->done) {
+                entry->callbacks.push_back(std::move(callback));
+                return;
+            }
+        }
+        callback();
     }
 
     /**

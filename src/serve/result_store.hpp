@@ -59,6 +59,11 @@ struct ResultStoreConfig
     /** Compact when dead frames (superseded + tombstoned) exceed this
      *  fraction of all frames, checked at rotation and open(). */
     double compactDeadRatio = 0.5;
+    /** Take the exclusive flock on `<dir>/LOCK` at open().  Disabled
+     *  only by ShardedResultStore when it migrates a legacy
+     *  single-store journal out of a root directory whose lock it
+     *  already holds — never by a store with an independent owner. */
+    bool lockDir = true;
 };
 
 /** Append-only journal of experiment results; see file comment. */

@@ -1,89 +1,105 @@
 /**
  * @file
- * hpe_serve — the persistent experiment-serving daemon.
+ * hpe_serve — the persistent, sharded experiment-serving daemon.
  *
- * A Server listens on a Unix-domain socket and speaks a newline-delimited
- * JSON request/response protocol (one JSON object per line in each
- * direction; see docs/api.md):
+ * A Server listens on any mix of Unix-domain and TCP endpoints
+ * (`unix:/path` | `tcp:host:port`; see serve/endpoint.hpp) and speaks
+ * a newline-delimited JSON request/response protocol, versioned since
+ * v2 (one JSON object per line in each direction; see docs/api.md):
  *
- *   {"type":"run","request":{...ExperimentRequest...},"id":"tag",
+ *   {"v":2,"type":"run","request":{...ExperimentRequest...},"id":"tag",
  *    "deadline_ms":5000}
  *   {"type":"stats"} | {"type":"ping"} | {"type":"shutdown"}
  *
- * Request handling funnels through the stable hpe::api façade, so a cell
- * served over the socket is byte-identical (same digests, same stat
- * values) to the same cell run via the CLI or a sweep.  Completed
- * results live in a content-addressed ResultCache keyed by the request
- * fingerprint: a repeat query is O(1), and identical in-flight requests
- * coalesce onto one computation.
+ * Request handling funnels through the stable hpe::api façade, so a
+ * cell served over any socket is byte-identical (same digests, same
+ * stat values) to the same cell run via the CLI or a sweep.
  *
- * Operational behaviour:
+ * Architecture — one event-driven IO thread, N independent shards:
  *
- *  - computations are scheduled onto the shared ThreadPool (post());
- *    parallelism defaults to resolveJobs() like every other consumer;
- *  - durability: with a store directory configured, every completed
- *    result is journaled to a ResultStore *before* waiters see it, and
- *    start() warm-starts the cache from the journal after the socket
- *    binds (so a daemon racing a live one fails fast with the journal
- *    untouched) but before it listens — a restarted daemon answers
- *    previously computed cells as cache hits with byte-identical
- *    payloads from its first accepted request;
- *  - tiered load shedding: admission degrades through modes driven by
- *    load depth (queued/running computations + outstanding run
- *    requests; coalesced waiters drop out of the gauge once they park
- *    on a shared computation) — full service, then hit-and-coalesce-only (new
- *    fingerprints rejected with a retry_after_ms hint while cached and
- *    in-flight work still answers), then reject (every run request
- *    sheds; ping/stats always answer).  The current mode, transition
- *    count, and per-mode shed counters surface in `stats`;
+ *  - the IO thread owns every socket: an epoll loop accepts, reads,
+ *    frames request lines, writes buffered responses, and expires
+ *    per-request deadlines.  It never computes: `run` work is posted
+ *    to the owning shard and the response comes back through a
+ *    completion queue (workers never touch a socket, the IO thread
+ *    never blocks on a computation);
+ *  - a shard = one ResultCache + one worker pool + one journal
+ *    directory, selected by fingerprint hash
+ *    (ShardedResultStore::shardOf).  Cache hits, cold computes, and
+ *    journal appends on different shards share no lock;
+ *  - durability: with a store directory configured, completed results
+ *    journal to `<dir>/shard-<i>/` *before* waiters see them, and
+ *    start() warm-starts every shard cache from the recovered union
+ *    after the sockets bind but before they listen.  Restarting with
+ *    a different --shards count migrates the journals (see
+ *    serve/sharded_store.hpp);
+ *  - tiered load shedding: admission degrades through full →
+ *    hit-and-coalesce-only → reject, keyed on *aggregate* depth
+ *    (outstanding run requests + computations pending across all
+ *    shards), so one hot shard cannot flip the whole daemon into
+ *    reject mode; what it can do is saturate its own pending bound,
+ *    which sheds only the requests routed to it.  Per-shard gauges
+ *    and shed counters surface in `stats` next to the aggregates;
  *  - per-request deadlines: a waiter whose deadline passes gets a
- *    deadline_exceeded error; the computation itself continues and lands
- *    in the cache for the retry;
- *  - stale-socket recovery: when the socket path is already bound,
- *    start() probes it with a `ping`; a dead daemon's leftover socket
- *    is unlinked and rebound, a live daemon keeps the bind error;
- *  - graceful drain: SIGTERM/SIGINT (via installSignalHandlers) or a
- *    `shutdown` request stop the accept loop, let every in-flight
- *    request finish and its response flush, then tear the socket down;
- *  - observability: a `stats` request surfaces the cache/queue/shed/
- *    store counters both as JSON and as a StatRegistry CSV dump (the
- *    PR-3 machinery).
+ *    deadline_exceeded error from the IO thread's timer wheel; the
+ *    computation continues and lands in the cache for the retry;
+ *  - robustness: request lines are capped (oversized lines get an
+ *    error and a close), half-written requests and mid-request
+ *    disconnects clean up silently, byte-at-a-time senders just
+ *    accumulate in the read buffer;
+ *  - stale-socket recovery (Unix endpoints): a dead daemon's leftover
+ *    socket file is probed, unlinked, and rebound; a live daemon's is
+ *    never stolen;
+ *  - graceful drain: SIGTERM/SIGINT or a `shutdown` request close the
+ *    listeners, answer every in-flight request, flush every response,
+ *    then tear the sockets down.
  */
 
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <queue>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "api/json.hpp"
 #include "common/thread_pool.hpp"
+#include "serve/endpoint.hpp"
 #include "serve/result_cache.hpp"
-#include "serve/result_store.hpp"
+#include "serve/sharded_store.hpp"
 
 namespace hpe::serve {
 
 /** Daemon configuration (defaults match `hpe_sim serve`'s). */
 struct ServeConfig
 {
-    /** Filesystem path of the Unix-domain socket to bind. */
+    /** Primary endpoint (endpoint grammar; a bare path = Unix socket). */
     std::string socketPath;
-    /** Worker parallelism; 0 resolves via resolveJobs(). */
+    /** Additional listener endpoints (same grammar). */
+    std::vector<std::string> listen;
+    /** Cache/store/worker shards; requests route by fingerprint. */
+    unsigned shards = 1;
+    /** Worker parallelism across all shards; 0 resolves via
+     *  resolveJobs().  Every shard gets at least one worker. */
     unsigned jobs = 0;
-    /** Bound on computations queued or running (admission control). */
+    /** Bound on computations queued or running (admission control),
+     *  split evenly across shards (at least 1 each). */
     std::size_t maxQueue = 64;
-    /** Completed results retained by the cache. */
+    /** Completed results retained, split evenly across shard caches. */
     std::size_t cacheCapacity = 1024;
     /** Deadline applied to requests that carry none; 0 = unbounded. */
     std::uint64_t defaultDeadlineMs = 0;
-    /** Durable result-store directory; empty = memory-only daemon. */
+    /** Durable result-store root; empty = memory-only daemon. */
     std::string storeDir;
-    /** Journal segment rotation threshold (bytes). */
+    /** Journal segment rotation threshold (bytes, per shard). */
     std::size_t storeSegmentBytes = 4u << 20;
     /** fdatasync every journal append (power-loss durability). */
     bool storeSync = false;
@@ -93,6 +109,9 @@ struct ServeConfig
     /** Load depth (exclusive) beyond which shedding rejects every run
      *  request; 0 = derive (4 * maxQueue). */
     std::size_t shedRejectDepth = 0;
+    /** Longest accepted request line; longer ones get an error and a
+     *  close (a stream with no newline is not a client). */
+    std::size_t maxLineBytes = 1u << 20;
 };
 
 /** The admission tiers of the load-shedding path, mildest first. */
@@ -112,9 +131,10 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Bind the socket and start accepting connections on a background
-     * thread.  @return false (with @p error filled) when the socket
-     * cannot be created — e.g. a stale daemon still owns the path.
+     * Bind every endpoint and start the IO thread.  @return false
+     * (with @p error filled) when an endpoint cannot be parsed or
+     * bound — e.g. a live daemon still owns a socket — or the store
+     * cannot be opened.
      */
     bool start(std::string &error);
 
@@ -123,21 +143,22 @@ class Server
     void wait();
 
     /**
-     * Ask the daemon to stop; safe from any thread, idempotent.  The
-     * actual drain happens in stop() on the owning thread.
+     * Ask the daemon to stop; safe from any thread (signal handlers
+     * included), idempotent.  The drain runs on the IO thread; stop()
+     * joins it.
      */
     void requestStop();
 
-    /** Graceful drain: stop accepting, finish in-flight requests, join
-     *  every connection, flush and close the store (releasing its
-     *  directory lock), remove the socket file.  Idempotent.  Must not
-     *  be called from a connection thread (it joins them). */
+    /** Graceful drain: close the listeners, answer and flush every
+     *  in-flight request, join the IO thread, close the store
+     *  (releasing its locks), remove Unix socket files.  Idempotent.
+     *  Must not be called from the IO thread or a worker. */
     void stop();
 
     /**
-     * Route SIGTERM/SIGINT to requestStop() of @p server (one server per
-     * process), and ignore SIGPIPE so a vanished client cannot kill the
-     * daemon.  Call before start(); pass nullptr to detach.
+     * Route SIGTERM/SIGINT to requestStop() of @p server (one server
+     * per process), and ignore SIGPIPE so a vanished client cannot
+     * kill the daemon.  Call before start(); pass nullptr to detach.
      */
     static void installSignalHandlers(Server *server);
 
@@ -145,11 +166,20 @@ class Server
     std::string statsJson();
 
     const ServeConfig &config() const { return cfg_; }
-    ResultCache &cache() { return cache_; }
+    /** The endpoints actually bound, canonical spelling, ephemeral TCP
+     *  ports resolved — valid after start(). */
+    const std::vector<std::string> &boundEndpoints() const
+    {
+        return boundEndpoints_;
+    }
+    unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+    /** Shard 0's cache (the whole cache when --shards 1). */
+    ResultCache &cache() { return shardCache(0); }
+    ResultCache &shardCache(unsigned index);
     /** The durable store; nullptr when running memory-only. */
-    ResultStore *store() { return store_.get(); }
-    /** Resolved worker parallelism. */
-    unsigned jobs() const { return pool_.threads(); }
+    ShardedResultStore *store() { return store_.get(); }
+    /** Resolved worker parallelism (dedicated workers, all shards). */
+    unsigned jobs() const { return jobsTotal_; }
     /** The shed mode the last admission decision ran under. */
     ShedMode shedMode() const
     {
@@ -159,28 +189,109 @@ class Server
     std::uint64_t shedTransitions() const { return shedTransitions_.load(); }
 
   private:
-    void acceptLoop();
-    void connectionLoop(int fd);
-    /** Handle one request line; @return the response line (no '\n'). */
-    std::string handleLine(const std::string &line);
-    std::string handleRun(const api::json::Value &envelope);
+    using Clock = std::chrono::steady_clock;
+
+    /** One cache + worker-pool + shed-gauge unit; see file comment. */
+    struct Shard
+    {
+        Shard(std::size_t capacity, std::size_t maxPending,
+              unsigned workers)
+            : cache(capacity, maxPending), pool(workers + 1)
+        {}
+        ResultCache cache;
+        /** +1: ThreadPool counts the (absent) calling thread; every
+         *  shard gets `workers` dedicated queue-serving threads. */
+        ThreadPool pool;
+        /** Cold fingerprints shed here in hit-and-coalesce-only mode. */
+        std::atomic<std::uint64_t> shedColdRejections{0};
+    };
+
+    /** Per-connection state; owned and touched by the IO thread only. */
+    struct Connection
+    {
+        std::uint64_t id = 0;
+        int fd = -1;
+        std::string rbuf;
+        /** Unwritten response bytes (offset woff already sent). */
+        std::string wbuf;
+        std::size_t woff = 0;
+        /** EPOLLOUT currently armed. */
+        bool wantWrite = false;
+        /** A run request is awaiting its async response (responses per
+         *  connection stay in request order: buffered lines park until
+         *  the in-flight one answers). */
+        bool awaiting = false;
+        /** Close as soon as wbuf flushes; stop reading now. */
+        bool closing = false;
+    };
+
+    /** One in-flight async run request, shared between the IO thread
+     *  (deadline timer) and the completing worker.  Whoever flips
+     *  `answered` first owns the response. */
+    struct Ticket
+    {
+        std::atomic<bool> answered{false};
+        std::uint64_t connId = 0;
+        int version = 1;
+        std::optional<api::json::Value> id;
+        std::string fingerprint;
+        bool cached = false;
+        bool coalesced = false;
+        std::uint64_t deadlineMs = 0;
+        ResultCache::EntryPtr entry;
+    };
+    using TicketPtr = std::shared_ptr<Ticket>;
+
+    bool bindEndpoint(const Endpoint &endpoint, int &fd,
+                      std::string &error);
+    void closeListeners();
+    void ioLoop();
+    void beginDrain();
+    void acceptFrom(int listenFd);
+    /** @return false when the connection must be closed. */
+    bool handleReadable(Connection &conn);
+    bool handleWritable(Connection &conn);
+    bool processLines(Connection &conn);
+    bool flushWrite(Connection &conn);
+    void enqueueResponse(Connection &conn, const std::string &line);
+    void updateEpollInterest(Connection &conn);
+    void closeConn(std::uint64_t id);
+    void sweepClosable();
+    void deliverCompletions();
+    void expireDeadlines(Clock::time_point now);
+    int epollTimeoutMs(Clock::time_point now) const;
+
+    void handleLine(Connection &conn, const std::string &line);
+    void handleRun(Connection &conn, const api::json::Value &envelope,
+                   int version);
+    /** The worker-side response for an answered ticket. */
+    std::string buildRunResponse(const Ticket &ticket);
+    /** Workers hand finished responses back to the IO thread here. */
+    void pushCompletion(std::uint64_t connId, std::string line);
     /** Current shed mode for @p depth, recording transitions. */
     ShedMode updateShedMode(std::size_t depth);
+    /** Aggregate depth gauge: outstanding + every shard's pending. */
+    std::size_t loadDepth() const;
 
     ServeConfig cfg_;
     /** Resolved shedding thresholds (see ServeConfig). */
     std::size_t shedHitOnlyDepth_;
     std::size_t shedRejectDepth_;
-    // store_ before cache_ before pool_: ~ThreadPool joins in-flight
-    // tasks, which append to the store and call cache_.complete() — both
-    // must be destroyed after the pool.
-    std::unique_ptr<ResultStore> store_;
-    ResultCache cache_;
-    ThreadPool pool_;
+    unsigned jobsTotal_ = 0;
+    // store_ before shards_: shard pool destructors join in-flight
+    // tasks, which append to the store and complete into the caches —
+    // both must outlive the pools.
+    std::unique_ptr<ShardedResultStore> store_;
+    std::vector<std::unique_ptr<Shard>> shards_;
 
-    int listenFd_ = -1;
+    std::vector<Endpoint> endpoints_;
+    std::vector<std::string> boundEndpoints_;
+    std::vector<int> listenFds_;
+    int epollFd_ = -1;
     int stopPipe_[2] = {-1, -1};
-    std::thread acceptThread_;
+    /** Wakes the epoll loop when a worker queues a completion. */
+    int notifyFd_ = -1;
+    std::thread ioThread_;
 
     std::mutex stateMutex_;
     std::condition_variable stopCv_;
@@ -188,28 +299,41 @@ class Server
     bool stopped_ = false;
     bool started_ = false;
 
-    /** Connection threads + fds, guarded by stateMutex_. */
-    struct Connection
+    /** @{ IO-thread-only state. */
+    std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+    std::uint64_t nextConnId_ = 1;
+    bool draining_ = false;
+    struct DeadlineLater
     {
-        int fd;
-        std::thread thread;
+        bool operator()(const std::pair<Clock::time_point, TicketPtr> &a,
+                        const std::pair<Clock::time_point, TicketPtr> &b)
+            const
+        {
+            return a.first > b.first;
+        }
     };
-    std::vector<std::unique_ptr<Connection>> connections_;
+    std::priority_queue<std::pair<Clock::time_point, TicketPtr>,
+                        std::vector<std::pair<Clock::time_point, TicketPtr>>,
+                        DeadlineLater>
+        deadlines_;
+    /** @} */
+
+    /** Completed responses awaiting IO-thread delivery. */
+    std::mutex doneMutex_;
+    std::vector<std::pair<std::uint64_t, std::string>> done_;
 
     std::atomic<std::uint64_t> served_{0};
     std::atomic<std::uint64_t> errors_{0};
     std::atomic<std::uint64_t> connectionsTotal_{0};
     std::atomic<std::uint64_t> running_{0};
     /** Run requests admitted and not yet answered (the load gauge the
-     *  shed tiers key on, together with the cache's pending count).
-     *  Coalesced waiters release their token before they start
-     *  waiting — they consume no worker. */
+     *  shed tiers key on, together with the caches' pending counts).
+     *  Coalesced waiters release their token once they park. */
     std::atomic<std::uint64_t> outstanding_{0};
     std::atomic<int> shedMode_{0};
     std::atomic<std::uint64_t> shedTransitions_{0};
-    /** Cold fingerprints shed in hit-and-coalesce-only mode. */
-    std::atomic<std::uint64_t> shedColdRejections_{0};
-    /** Run requests shed outright in reject mode. */
+    /** Run requests shed outright in reject mode (pre-routing, so a
+     *  daemon-level counter; the hit-only sheds count per shard). */
     std::atomic<std::uint64_t> shedRejections_{0};
 };
 

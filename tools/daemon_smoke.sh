@@ -6,7 +6,9 @@
 #   2. an identical re-submit is answered from the result cache,
 #   3. a `shutdown` request drains the daemon to a clean exit 0,
 #   4. a restarted daemon over the same --store-dir serves the cell as a
-#      warm cache hit with the same digest (durability).
+#      warm cache hit with the same digest (durability),
+#   5. a sharded daemon on an ephemeral TCP port (tcp:127.0.0.1:0,
+#      discovered via --endpoint-file) serves the same digest over TCP.
 #
 # Usage: tools/daemon_smoke.sh [path-to-hpe_sim]   (default: build/tools/hpe_sim)
 set -euo pipefail
@@ -90,4 +92,33 @@ echo "$stats" | grep -q '"cache_misses":0' \
 wait "$SERVE_PID" || fail "restarted daemon exited non-zero"
 SERVE_PID=""
 
-echo "daemon smoke: digest match, cache hit, clean shutdown, warm restart"
+# 5. TCP leg: a 2-shard daemon on an ephemeral port answers the same
+# golden cell over TCP, byte-identical to the Unix-socket bytes.  The
+# warm store from step 4 rides along, so this is also a sharding
+# migration of the legacy journal (1 shard -> 2).
+EPFILE="$TMPDIR_SMOKE/endpoint"
+"$HPE_SIM" serve --listen tcp:127.0.0.1:0 --shards 2 \
+    --store-dir "$STORE" --endpoint-file "$EPFILE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$EPFILE" ] && break
+    sleep 0.1
+done
+[ -s "$EPFILE" ] || fail "tcp daemon did not write $EPFILE"
+ENDPOINT="$(head -n 1 "$EPFILE")"
+case "$ENDPOINT" in
+    tcp:127.0.0.1:*) ;;
+    *) fail "unexpected endpoint spelling: $ENDPOINT" ;;
+esac
+tcp="$("$HPE_SIM" submit --socket "$ENDPOINT" "${CELL[@]}")"
+echo "$tcp" | grep -q '"cached":true' || fail "tcp submit missed the store: $tcp"
+echo "$tcp" | grep -q "\"trace_digest\":\"$digest\"" \
+    || fail "tcp digest differs: $tcp"
+stats="$("$HPE_SIM" submit --socket "$ENDPOINT" --type stats)"
+echo "$stats" | grep -q '"shard_count":2' || fail "expected 2 shards: $stats"
+"$HPE_SIM" submit --socket "$ENDPOINT" --type shutdown >/dev/null
+wait "$SERVE_PID" || fail "tcp daemon exited non-zero"
+SERVE_PID=""
+
+echo "daemon smoke: digest match, cache hit, clean shutdown," \
+     "warm restart, tcp leg served golden digest"

@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
-# Kill-9 recovery proof for the hpe_serve durable result store:
+# Kill-9 recovery proof for the sharded hpe_serve durable result store,
+# exercised over TCP:
 #
-#   1. populate the store (submit the HSD/HPE golden cell, digest checked
-#      byte-for-byte against ci/golden/HSD_HPE.digest),
+#   1. start a 4-shard daemon on an ephemeral TCP port (tcp:127.0.0.1:0,
+#      discovered via --endpoint-file) and populate the store (submit the
+#      HSD/HPE golden cell, digest checked byte-for-byte against
+#      ci/golden/HSD_HPE.digest),
 #   2. SIGKILL the daemon in the middle of a burst of cold submissions —
 #      no drain, no flush, exactly what a crash looks like — and tear the
-#      journal tail on purpose (append a half-written frame) so recovery
-#      provably handles a torn write, not just a clean file,
-#   3. restart a daemon over the same --store-dir and assert it (a) boots
-#      despite the tear, (b) truncates the torn tail, and (c) serves the
+#      newest journal segment of *every* shard on purpose (append a
+#      half-written frame) so recovery provably handles torn writes in
+#      each shard, not just a clean file,
+#   3. restart a daemon over the same --store-dir with a DIFFERENT shard
+#      count (4 -> 2) and assert it (a) boots despite the tears,
+#      (b) truncates the torn tails, (c) migrates the now-orphan shard-2
+#      and shard-3 journals into the surviving shards, and (d) serves the
 #      golden cell as a warm cache hit with the identical digest, without
 #      recomputing it.
 #
@@ -26,28 +32,32 @@ fail() { echo "serve recovery: $*" >&2; exit 1; }
 [ -f "$GOLDEN" ] || fail "$GOLDEN missing"
 
 TMPDIR_REC="$(mktemp -d /tmp/hpe_recover.XXXXXX)"
-SOCK="$TMPDIR_REC/daemon.sock"
 STORE="$TMPDIR_REC/store"
+EPFILE="$TMPDIR_REC/endpoint"
 SERVE_PID=""
+ENDPOINT=""
 cleanup() {
     [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
     rm -rf "$TMPDIR_REC"
 }
 trap cleanup EXIT
 
+# start_daemon SHARDS: boot on an ephemeral TCP port, resolve ENDPOINT.
 start_daemon() {
-    "$HPE_SIM" serve --socket "$SOCK" --store-dir "$STORE" &
+    rm -f "$EPFILE"
+    "$HPE_SIM" serve --listen tcp:127.0.0.1:0 --shards "$1" \
+        --store-dir "$STORE" --endpoint-file "$EPFILE" &
     SERVE_PID=$!
     for _ in $(seq 1 100); do
-        [ -S "$SOCK" ] && return 0
+        [ -s "$EPFILE" ] && { ENDPOINT="$(head -n 1 "$EPFILE")"; return 0; }
         sleep 0.1
     done
-    fail "daemon did not create $SOCK"
+    fail "daemon did not write $EPFILE"
 }
 
-# ---- 1. populate the store with the golden cell --------------------------
-start_daemon
-first="$("$HPE_SIM" submit --socket "$SOCK" "${CELL[@]}")"
+# ---- 1. populate the 4-shard store with the golden cell ------------------
+start_daemon 4
+first="$("$HPE_SIM" submit --socket "$ENDPOINT" "${CELL[@]}")"
 echo "$first" | grep -q '"ok":true' || fail "populate submit failed: $first"
 digest="$(echo "$first" | sed -n 's/.*"trace_digest":"\([0-9a-f]*\)".*/\1/p')"
 events="$(echo "$first" | sed -n 's/.*"trace_events":\([0-9]*\).*/\1/p')"
@@ -56,12 +66,13 @@ golden_line="$(head -n 1 "$GOLDEN")"
 [ "$served_line" = "$golden_line" ] \
     || fail "digest mismatch before crash: '$served_line' vs '$golden_line'"
 
-# ---- 2. SIGKILL mid-load, then tear the journal tail ---------------------
-# A burst of cold cells keeps computations (and journal appends) in
-# flight while the daemon dies.
+# ---- 2. SIGKILL mid-load, then tear every shard's journal tail -----------
+# A burst of cold cells keeps computations (and journal appends, spread
+# across the shards) in flight while the daemon dies.
 for seed in 11 12 13 14 15 16; do
-    "$HPE_SIM" submit --socket "$SOCK" --app STN --policy LRU --functional \
-        --scale 0.1 --seed "$seed" --trace-digest >/dev/null 2>&1 &
+    "$HPE_SIM" submit --socket "$ENDPOINT" --app STN --policy LRU \
+        --functional --scale 0.1 --seed "$seed" --trace-digest \
+        >/dev/null 2>&1 &
 done
 sleep 0.3
 kill -9 "$SERVE_PID" || fail "could not SIGKILL the daemon"
@@ -69,33 +80,45 @@ wait "$SERVE_PID" 2>/dev/null || true  # 137: killed, as intended
 SERVE_PID=""
 wait || true  # the in-flight submits lose their connection; that's fine
 
-active="$(ls "$STORE"/journal-*.log 2>/dev/null | sort | tail -n 1)"
-[ -n "$active" ] || fail "no journal segment survived the kill"
-intact_size="$(wc -c < "$active")"
-# A half-written frame: a valid magic and a frame header promising more
-# bytes than follow.  Recovery must truncate exactly this off.
-printf 'HPEJ\001\000\000\000\377\000\000\000\377\000\000\000torn' >> "$active"
+[ -d "$STORE/shard-0" ] || fail "no shard-0 journal dir survived the kill"
+[ -d "$STORE/shard-3" ] || fail "no shard-3 journal dir survived the kill"
+# A half-written frame per shard: a valid magic and a frame header
+# promising more bytes than follow.  Recovery must truncate exactly
+# this off — in every shard, including the ones about to be migrated.
+torn=0
+for shard_dir in "$STORE"/shard-*; do
+    active="$(ls "$shard_dir"/journal-*.log 2>/dev/null | sort | tail -n 1)"
+    [ -n "$active" ] || continue
+    printf 'HPEJ\001\000\000\000\377\000\000\000\377\000\000\000torn' \
+        >> "$active"
+    torn=$((torn + 1))
+done
+[ "$torn" -ge 1 ] || fail "no journal segment survived the kill"
 
-# ---- 3. restart over the same store and demand a warm hit ----------------
-start_daemon
-warm="$("$HPE_SIM" submit --socket "$SOCK" "${CELL[@]}")"
+# ---- 3. restart resharded (4 -> 2) and demand a warm hit -----------------
+start_daemon 2
+warm="$("$HPE_SIM" submit --socket "$ENDPOINT" "${CELL[@]}")"
 echo "$warm" | grep -q '"ok":true' || fail "post-crash submit failed: $warm"
 echo "$warm" | grep -q '"cached":true' \
     || fail "restart recomputed the golden cell instead of warm-starting: $warm"
 echo "$warm" | grep -q "\"trace_digest\":\"$digest\"" \
     || fail "warm digest differs from pre-crash digest: $warm"
 
-stats="$("$HPE_SIM" submit --socket "$SOCK" --type stats)"
+stats="$("$HPE_SIM" submit --socket "$ENDPOINT" --type stats)"
 echo "$stats" | grep -q '"torn_truncations":[1-9]' \
-    || fail "the torn tail was not truncated: $stats"
+    || fail "the torn tails were not truncated: $stats"
 echo "$stats" | grep -q '"recovered":[1-9]' \
-    || fail "nothing recovered from the journal: $stats"
-post_size="$(wc -c < "$active")"
-[ "$post_size" -le "$intact_size" ] \
-    || fail "journal still contains the torn tail ($post_size > $intact_size)"
+    || fail "nothing recovered from the journals: $stats"
+echo "$stats" | grep -q '"shard_count":2' \
+    || fail "restarted daemon is not running 2 shards: $stats"
+# The 4-shard incarnation's shard-2/shard-3 journals were drained into
+# the surviving shards and removed.
+[ ! -d "$STORE/shard-2" ] || fail "orphan shard-2 journal was not migrated"
+[ ! -d "$STORE/shard-3" ] || fail "orphan shard-3 journal was not migrated"
 
-"$HPE_SIM" submit --socket "$SOCK" --type shutdown >/dev/null
+"$HPE_SIM" submit --socket "$ENDPOINT" --type shutdown >/dev/null
 wait "$SERVE_PID" || fail "recovered daemon exited non-zero"
 SERVE_PID=""
 
-echo "serve recovery: kill-9 survived, torn tail truncated, warm hit with golden digest"
+echo "serve recovery: kill-9 survived on tcp, torn tails truncated," \
+     "4->2 reshard migrated, warm hit with golden digest"
